@@ -1,0 +1,303 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// ablations and kernel microbenchmarks. Each Benchmark<Artifact> runs the
+// corresponding experiment at quick scale; run the cmd/experiments binary
+// for the full-scale versions.
+//
+//	go test -bench=. -benchmem
+package dropback_test
+
+import (
+	"io"
+	"testing"
+
+	"dropback"
+	"dropback/internal/core"
+	"dropback/internal/experiments"
+	"dropback/internal/nn"
+	"dropback/internal/optim"
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 42, Quick: true, Out: io.Discard}
+}
+
+// --- One benchmark per paper artifact -------------------------------------
+
+func BenchmarkFig1AccumulatedGradientKDE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig1(benchOpts())
+		if r.Summary.N == 0 {
+			b.Fatal("empty Fig 1 result")
+		}
+	}
+}
+
+func BenchmarkFig2TrackedSetChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig2(benchOpts())
+		if len(r.SwapHistory) == 0 {
+			b.Fatal("empty Fig 2 result")
+		}
+	}
+}
+
+func BenchmarkTable1MNISTCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable1(benchOpts())
+		if len(r.Rows) != 8 {
+			b.Fatal("Table 1 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable2LayerRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable2(benchOpts())
+		if len(r.Rows) != 3 {
+			b.Fatal("Table 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig3LeNetConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig3(benchOpts())
+		if len(r.Baseline.Y) == 0 {
+			b.Fatal("Fig 3 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable3CIFARMethods(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTable3(benchOpts())
+		if len(r.Rows) == 0 {
+			b.Fatal("Table 3 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig4VGGSConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunFig4(benchOpts())
+		if len(r.Baseline.Y) == 0 {
+			b.Fatal("Fig 4 incomplete")
+		}
+	}
+}
+
+func BenchmarkFig5DiffusionAndFig6PCA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f5, f6 := experiments.RunFig5And6(benchOpts())
+		if len(f5.Runs) != 5 || len(f6.Labels) != 5 {
+			b.Fatal("Fig 5/6 incomplete")
+		}
+	}
+}
+
+func BenchmarkEnergyClaim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunEnergyClaim(benchOpts())
+		if r.RegenVsDRAM < 400 {
+			b.Fatal("energy claim broken")
+		}
+	}
+}
+
+func BenchmarkTrafficReport(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RunTrafficReport(benchOpts())
+		if len(r.Rows) == 0 {
+			b.Fatal("traffic report incomplete")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §3) ----------------------------------------------
+
+func BenchmarkAblationZeroVsRegen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.RunAblationZeroVsRegen(benchOpts()); len(rows) != 2 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationSelectionCriterion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.RunAblationSelection(benchOpts()); len(rows) != 2 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationFreezeEpoch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.RunAblationFreeze(benchOpts()); len(rows) != 6 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+// --- Extension experiments (§3, §5, §6 claims) -------------------------------
+
+func BenchmarkExtensionScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.RunScale(benchOpts()); len(r.Rows) != 3 {
+			b.Fatal("scale experiment incomplete")
+		}
+	}
+}
+
+func BenchmarkExtensionMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.RunMemory(benchOpts()); len(r.Rows) != 4 {
+			b.Fatal("memory experiment incomplete")
+		}
+	}
+}
+
+func BenchmarkExtensionArtifact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := experiments.RunArtifact(benchOpts()); r.StoredWeights == 0 {
+			b.Fatal("artifact experiment incomplete")
+		}
+	}
+}
+
+// --- Kernel microbenchmarks -------------------------------------------------
+
+func BenchmarkTopKStrategies(b *testing.B) {
+	scores := make([]float32, 266610) // LeNet-300-100 sized
+	for i := range scores {
+		scores[i] = xorshift.IndexedNormal(1, uint64(i))
+	}
+	// Inject the duplicate-heavy regime DropBack actually sees.
+	for i := 0; i < len(scores); i += 3 {
+		scores[i] = 0
+	}
+	mask := make([]bool, len(scores))
+	b.Run("quickselect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectTopKInto(mask, scores, 20000, core.StrategyQuickselect)
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.SelectTopKInto(mask, scores, 20000, core.StrategyHeap)
+		}
+	})
+}
+
+func BenchmarkWeightRegeneration(b *testing.B) {
+	in := xorshift.Init{Kind: xorshift.InitScaledNormal, Seed: 7, Scale: 0.05}
+	b.ReportAllocs()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += in.Regenerate(i & 0xFFFF)
+	}
+	_ = sink
+}
+
+func BenchmarkDropBackApply(b *testing.B) {
+	m := dropback.MNIST100100(1)
+	db := core.New(m.Set, core.Config{Budget: 10000, FreezeAfterEpoch: -1})
+	// Give the scores some structure.
+	for g := 0; g < m.Set.Total(); g += 7 {
+		m.Set.Set(g, m.Set.InitialValue(g)+float32(g%13)*0.01)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Apply()
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	x := tensor.New(64, 256)
+	w := tensor.New(256, 128)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedNormal(1, uint64(i))
+	}
+	for i := range w.Data {
+		w.Data[i] = xorshift.IndexedNormal(2, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, w)
+	}
+}
+
+func BenchmarkMLPTrainStep(b *testing.B) {
+	m := dropback.MNIST100100(1)
+	x := tensor.New(32, 784)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(3, uint64(i))
+	}
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	sgd := optim.NewSGD(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(x, labels)
+		sgd.Step(m.Set)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	x := tensor.New(3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(5, uint64(i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2Col(x, 3, 3, 1, 1)
+	}
+}
+
+func BenchmarkBatchNormForward(b *testing.B) {
+	layer := nn.NewBatchNorm("bench/bn", 1, 64)
+	x := tensor.New(32, 64, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedNormal(6, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x, true)
+	}
+}
+
+func BenchmarkSparseCompressApply(b *testing.B) {
+	m := dropback.MNIST100100(1)
+	for g := 0; g < 10000; g++ {
+		m.Set.Set(g*8, float32(g))
+	}
+	fresh := dropback.MNIST100100(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		art := dropback.CompressSparse(m)
+		if err := art.Apply(fresh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvTrainStep(b *testing.B) {
+	m := dropback.VGGSReduced(12, 8, 1, false)
+	x := tensor.New(8, 3, 12, 12)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(4, uint64(i))
+	}
+	labels := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	sgd := optim.NewSGD(0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(x, labels)
+		sgd.Step(m.Set)
+	}
+}

@@ -1,0 +1,88 @@
+// Command dropback-infer loads a sparse deployment artifact (written by
+// `dropback -export-sparse` or dropback.SaveSparse), reconstructs the model
+// by regenerating every untracked weight from the seed, and evaluates it —
+// the "device side" of the paper's deployment story.
+//
+// Usage:
+//
+//	dropback-infer -artifact model.dbsp -model mnist100 -seed 1
+//
+// The -model and -seed flags must match how the model was trained: the
+// artifact stores only the deviating weights, so the architecture and
+// regeneration seed come from the caller.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dropback"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "", "path to a .dbsp sparse artifact (required)")
+		model    = flag.String("model", "mnist100", "mnist100 | lenet300 | vggs-reduced | wrn-reduced | densenet-reduced")
+		seed     = flag.Uint64("seed", 1, "model seed used at training time")
+		samples  = flag.Int("samples", 500, "synthetic evaluation samples")
+		dataSeed = flag.Uint64("data-seed", 1, "synthetic dataset seed")
+	)
+	flag.Parse()
+	if *artifact == "" {
+		fmt.Fprintln(os.Stderr, "missing -artifact")
+		os.Exit(1)
+	}
+
+	art, err := dropback.LoadSparse(*artifact)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, imageModel, err := buildModel(*model, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := art.Apply(m); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("artifact: %d of %d weights stored (%.1fx compression), %d bytes\n",
+		art.StoredWeights(), art.TotalParams, art.CompressionRatio(), art.StorageBytes())
+
+	var ds *dropback.Dataset
+	if imageModel {
+		ds = dropback.CIFARLikeSized(*samples, 12, *dataSeed)
+	} else {
+		ds = dropback.MNISTLike(*samples, *dataSeed).Flatten()
+	}
+	loss, acc := dropback.Evaluate(m, ds, 64)
+	fmt.Printf("evaluation on %d synthetic samples: loss %.4f, accuracy %.2f%%\n",
+		ds.Len(), loss, acc*100)
+
+	conf := dropback.EvaluateDetailed(m, ds, 64)
+	fmt.Println(conf.String())
+	fmt.Println("most confused class pairs:")
+	for _, p := range conf.MostConfused(3) {
+		fmt.Printf("  actual %d -> predicted %d: %d times\n", p.Actual, p.Predicted, p.Count)
+	}
+}
+
+// buildModel mirrors cmd/dropback's model registry.
+func buildModel(name string, seed uint64) (*dropback.Model, bool, error) {
+	switch name {
+	case "mnist100":
+		return dropback.MNIST100100(seed), false, nil
+	case "lenet300":
+		return dropback.LeNet300100(seed), false, nil
+	case "vggs-reduced":
+		return dropback.VGGSReduced(12, 8, seed, false), true, nil
+	case "wrn-reduced":
+		return dropback.WRNReduced(10, 2, seed, false), true, nil
+	case "densenet-reduced":
+		return dropback.DenseNetReduced(13, 6, seed, false), true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown model %q", name)
+	}
+}

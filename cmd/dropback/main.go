@@ -1,0 +1,193 @@
+// Command dropback trains a model with any of the five regimes the paper
+// evaluates and prints the result row (validation error, compression, best
+// epoch) plus DropBack telemetry when applicable.
+//
+// Usage:
+//
+//	dropback -model mnist100 -method dropback -budget 10000 -epochs 10
+//	dropback -model lenet300 -method baseline
+//	dropback -model vggs-reduced -method magnitude -prune-fraction 0.8
+//	dropback -model mnist100 -method dropback -budget 1500 -freeze 3 -v
+//
+// With -mnist-images/-mnist-labels pointing at real MNIST IDX files the
+// MLP models train on real data; otherwise the synthetic generator is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dropback"
+	"dropback/internal/core"
+	"dropback/internal/optim"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "mnist100", "mnist100 | lenet300 | vggs-reduced | wrn-reduced | densenet-reduced")
+		method   = flag.String("method", "dropback", "baseline | dropback | magnitude | variational | slimming")
+		budget   = flag.Int("budget", 10000, "DropBack tracked-weight budget")
+		freeze   = flag.Int("freeze", -1, "freeze tracked set after this epoch (-1: never)")
+		strategy = flag.String("topk", "quickselect", "DropBack top-k engine: quickselect | heap")
+		pruneF   = flag.Float64("prune-fraction", 0.75, "magnitude/slimming prune fraction")
+		epochs   = flag.Int("epochs", 10, "training epochs")
+		batch    = flag.Int("batch", 32, "mini-batch size")
+		samples  = flag.Int("samples", 2000, "synthetic dataset size")
+		lr       = flag.Float64("lr", 0.1, "initial learning rate (x0.5 step decay)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "per-epoch progress")
+		images   = flag.String("mnist-images", "", "path to MNIST IDX image file (optional)")
+		labels   = flag.String("mnist-labels", "", "path to MNIST IDX label file (optional)")
+		saveCkpt = flag.String("save-checkpoint", "", "write a dense checkpoint of the trained model to this path")
+		loadCkpt = flag.String("load-checkpoint", "", "initialize the model from a dense checkpoint before training")
+		exportSp = flag.String("export-sparse", "", "write the sparse deployment artifact to this path")
+	)
+	flag.Parse()
+
+	variational := *method == "variational"
+	m, imageModel, err := buildModel(*model, *seed, variational)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *loadCkpt != "" {
+		if err := dropback.LoadCheckpoint(*loadCkpt, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from checkpoint %s\n", *loadCkpt)
+	}
+
+	ds, err := buildDataset(*model, imageModel, *samples, *seed, *images, *labels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	train, val := ds.Split(ds.Len() * 4 / 5)
+
+	cfg := dropback.TrainConfig{
+		Epochs: *epochs, BatchSize: *batch, Seed: *seed, Patience: 5,
+		Schedule: optim.StepDecay{Initial: float32(*lr), Factor: 0.5, Every: max(1, *epochs/5)},
+	}
+	if *verbose {
+		cfg.Progress = func(s string) { fmt.Println(s) }
+	}
+	switch *method {
+	case "baseline":
+		cfg.Method = dropback.MethodBaseline
+	case "dropback":
+		cfg.Method = dropback.MethodDropBack
+		cfg.Budget = *budget
+		cfg.FreezeAfterEpoch = *freeze
+		if *strategy == "heap" {
+			cfg.Strategy = core.StrategyHeap
+		}
+	case "magnitude":
+		cfg.Method = dropback.MethodMagnitude
+		cfg.PruneFraction = *pruneF
+	case "variational":
+		cfg.Method = dropback.MethodVariational
+		cfg.KLScale = 1 / float32(train.Len())
+	case "slimming":
+		cfg.Method = dropback.MethodSlimming
+		cfg.SlimLambda = 1e-4
+		cfg.SlimPruneFraction = *pruneF
+		cfg.SlimPruneAtEpoch = *epochs / 2
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model %s (%d params), method %s, %d train / %d val samples\n",
+		*model, m.Set.Total(), cfg.Method, train.Len(), val.Len())
+	res := dropback.Train(m, train, val, cfg)
+	if res.Diverged {
+		fmt.Println("training diverged")
+	}
+	fmt.Printf("best epoch %d: validation error %.2f%%, compression %.2fx\n",
+		res.BestEpoch, res.BestValErr*100, res.Compression)
+	if cfg.Method == dropback.MethodDropBack {
+		fmt.Printf("regenerations: %d\n", res.Regenerations)
+		fmt.Println("per-layer retention:")
+		for _, r := range res.Retention {
+			fmt.Printf("  %-24s %7d / %7d\n", r.Name, r.Retained, r.Total)
+		}
+	}
+	if *saveCkpt != "" {
+		if err := dropback.SaveCheckpoint(*saveCkpt, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint written to %s\n", *saveCkpt)
+	}
+	if *exportSp != "" {
+		art := dropback.CompressSparse(m)
+		if err := dropback.SaveSparse(*exportSp, art); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("sparse artifact written to %s: %d weights, %d bytes (dense %d bytes)\n",
+			*exportSp, art.StoredWeights(), art.StorageBytes(), art.DenseStorageBytes())
+	}
+}
+
+// buildModel constructs the requested model; imageModel reports whether it
+// consumes (N,C,H,W) input rather than flattened vectors.
+func buildModel(name string, seed uint64, variational bool) (*dropback.Model, bool, error) {
+	switch name {
+	case "mnist100":
+		if variational {
+			return nil, false, fmt.Errorf("use vggs-reduced for a variational demo; mnist100 VD is exercised by the experiments harness")
+		}
+		return dropback.MNIST100100(seed), false, nil
+	case "lenet300":
+		if variational {
+			return nil, false, fmt.Errorf("lenet300 has no variational variant in this CLI")
+		}
+		return dropback.LeNet300100(seed), false, nil
+	case "vggs-reduced":
+		return dropback.VGGSReduced(12, 8, seed, variational), true, nil
+	case "wrn-reduced":
+		return dropback.WRNReduced(10, 2, seed, variational), true, nil
+	case "densenet-reduced":
+		return dropback.DenseNetReduced(13, 6, seed, variational), true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown model %q", name)
+	}
+}
+
+// buildDataset returns the right dataset for the model: real MNIST when IDX
+// paths are supplied, synthetic otherwise.
+func buildDataset(model string, imageModel bool, samples int, seed uint64, images, labels string) (*dropback.Dataset, error) {
+	if images != "" || labels != "" {
+		if images == "" || labels == "" {
+			return nil, fmt.Errorf("need both -mnist-images and -mnist-labels")
+		}
+		if imageModel {
+			return nil, fmt.Errorf("real MNIST loading supports the MLP models")
+		}
+		ds, err := dropback.LoadMNIST(images, labels)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Flatten(), nil
+	}
+	if imageModel {
+		// The reduced conv models in this CLI are built for 12×12 inputs.
+		return dropback.CIFARLikeSized(samples, 12, seed), nil
+	}
+	if !strings.HasPrefix(model, "mnist") && model != "lenet300" {
+		return nil, fmt.Errorf("no dataset rule for model %q", model)
+	}
+	return dropback.MNISTLike(samples, seed).Flatten(), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

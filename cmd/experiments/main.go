@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all            # full suite (several minutes on CPU)
+//	experiments -run table1         # one artifact
+//	experiments -run fig5 -quick    # benchmark-sized variant
+//	experiments -list               # show the registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dropback/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment id to run (or \"all\")")
+		quick   = flag.Bool("quick", false, "benchmark-sized datasets and epoch counts")
+		seed    = flag.Uint64("seed", 42, "global random seed")
+		verbose = flag.Bool("v", false, "echo per-epoch training progress")
+		list    = flag.Bool("list", false, "list the experiment registry and exit")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV series into (optional)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %-10s %s\n", "ID", "PAPER", "DESCRIPTION")
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %-10s %s\n", e.ID, e.Paper, e.Description)
+		}
+		return
+	}
+	opt := experiments.Options{
+		Seed:    *seed,
+		Quick:   *quick,
+		Out:     os.Stdout,
+		Verbose: *verbose,
+		CSVDir:  *csvDir,
+	}
+	if err := experiments.RunByID(*run, opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

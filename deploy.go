@@ -1,0 +1,45 @@
+package dropback
+
+import (
+	"dropback/internal/checkpoint"
+	"dropback/internal/quant"
+	"dropback/internal/sparse"
+)
+
+// SparseArtifact is the deployment form of a DropBack-trained model: the
+// tracked weight values with their flat indices, the model seed, and batch
+// normalization running statistics. Applied to a freshly constructed model
+// (same constructor, same seed) it reproduces inference bit-exactly while
+// storing only the deviating weights.
+type SparseArtifact = sparse.Artifact
+
+// QuantizedArtifact is a SparseArtifact whose stored values are uniformly
+// quantized (§5 of the paper: quantization is orthogonal to DropBack and
+// the two combine).
+type QuantizedArtifact = quant.Artifact
+
+// CompressSparse exports a trained model as a sparse artifact. A weight is
+// stored iff its value differs from its regenerated initialization, so for
+// a DropBack-trained model the artifact holds at most the budget's worth of
+// weights.
+func CompressSparse(m *Model) *SparseArtifact { return sparse.Compress(m) }
+
+// QuantizeSparse further compresses a sparse artifact to b-bit weight codes
+// (1..8).
+func QuantizeSparse(a *SparseArtifact, bits int) *QuantizedArtifact {
+	return quant.Compress(a, bits)
+}
+
+// SaveSparse writes a sparse artifact to a file.
+func SaveSparse(path string, a *SparseArtifact) error { return sparse.Save(path, a) }
+
+// LoadSparse reads a sparse artifact file.
+func LoadSparse(path string) (*SparseArtifact, error) { return sparse.Load(path) }
+
+// SaveCheckpoint writes a dense checkpoint (all weights + batch norm
+// statistics) of the model to a file — the training save/resume path.
+func SaveCheckpoint(path string, m *Model) error { return checkpoint.Save(path, m) }
+
+// LoadCheckpoint reads a dense checkpoint file into a model of the same
+// architecture.
+func LoadCheckpoint(path string, m *Model) error { return checkpoint.Load(path, m) }

@@ -1,0 +1,66 @@
+package dropback
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestDeployPipelineFacade(t *testing.T) {
+	train, val := smallData(300, 31)
+	m := smallMLP(31)
+	Train(m, train, val, TrainConfig{
+		Method: MethodDropBack, Budget: 500, FreezeAfterEpoch: 1,
+		Epochs: 3, BatchSize: 32, Seed: 31,
+	})
+	art := CompressSparse(m)
+	if art.StoredWeights() > 500 {
+		t.Fatalf("stored %d weights, budget 500", art.StoredWeights())
+	}
+	dir := t.TempDir()
+	spPath := filepath.Join(dir, "m.dbsp")
+	if err := SaveSparse(spPath, art); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSparse(spPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := smallMLP(31)
+	if err := loaded.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	_, a1 := Evaluate(m, val, 32)
+	_, a2 := Evaluate(fresh, val, 32)
+	if a1 != a2 {
+		t.Fatalf("sparse round trip changed accuracy: %v vs %v", a1, a2)
+	}
+
+	qa := QuantizeSparse(art, 8)
+	q := smallMLP(31)
+	if err := qa.Decompress().Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	if qa.StorageBytes() >= art.StorageBytes() {
+		t.Fatal("quantized artifact not smaller")
+	}
+}
+
+func TestCheckpointFacade(t *testing.T) {
+	train, val := smallData(200, 33)
+	m := smallMLP(33)
+	Train(m, train, val, TrainConfig{Method: MethodBaseline, Epochs: 2, BatchSize: 32, Seed: 33})
+	path := filepath.Join(t.TempDir(), "m.dbck")
+	if err := SaveCheckpoint(path, m); err != nil {
+		t.Fatal(err)
+	}
+	fresh := smallMLP(33)
+	if err := LoadCheckpoint(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.Set.Snapshot(), fresh.Set.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("checkpoint facade round trip mismatch")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// deploy demonstrates the DropBack deployment pipeline: train under a
+// weight budget, export the sparse artifact (tracked weights + seed only),
+// optionally quantize it to 8 bits, ship the file, and reconstruct a model
+// on the "device" whose inference is bit-identical (sparse) or near-
+// identical (quantized) to the trained one.
+//
+// Run with: go run ./examples/deploy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dropback"
+)
+
+func main() {
+	// --- "training server" side ------------------------------------------
+	ds := dropback.MNISTLike(1500, 9).Flatten()
+	train, val := ds.Split(1200)
+	model := dropback.MNIST100100(9)
+	res := dropback.Train(model, train, val, dropback.TrainConfig{
+		Method: dropback.MethodDropBack, Budget: 8000, FreezeAfterEpoch: 3,
+		Epochs: 8, BatchSize: 32, Seed: 9,
+	})
+	fmt.Printf("trained: err %.2f%%, compression %.1fx\n", res.BestValErr*100, res.Compression)
+
+	art := dropback.CompressSparse(model)
+	fmt.Printf("sparse artifact: %d of %d weights stored, %d bytes (dense would be %d bytes)\n",
+		art.StoredWeights(), model.Set.Total(), art.StorageBytes(), art.DenseStorageBytes())
+
+	dir, err := os.MkdirTemp("", "dropback-deploy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.dbsp")
+	if err := dropback.SaveSparse(path, art); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("wrote %s (%d bytes on disk)\n", path, info.Size())
+
+	// --- "device" side ----------------------------------------------------
+	loaded, err := dropback.LoadSparse(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device := dropback.MNIST100100(9) // same constructor, same seed
+	if err := loaded.Apply(device); err != nil {
+		log.Fatal(err)
+	}
+	_, accServer := dropback.Evaluate(model, val, 32)
+	_, accDevice := dropback.Evaluate(device, val, 32)
+	fmt.Printf("server accuracy %.4f, device accuracy %.4f (must match exactly: %v)\n",
+		accServer, accDevice, accServer == accDevice)
+
+	// --- optional: 8-bit quantization on top ------------------------------
+	qa := dropback.QuantizeSparse(art, 8)
+	q := dropback.MNIST100100(9)
+	if err := qa.Decompress().Apply(q); err != nil {
+		log.Fatal(err)
+	}
+	_, accQuant := dropback.Evaluate(q, val, 32)
+	fmt.Printf("8-bit quantized artifact: %d bytes, accuracy %.4f\n", qa.StorageBytes(), accQuant)
+}

@@ -1,0 +1,3 @@
+module dropback
+
+go 1.22

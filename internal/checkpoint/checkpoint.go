@@ -1,0 +1,339 @@
+// Package checkpoint serializes trained models: a dense format holding
+// every parameter value plus batch-normalization running statistics, inside
+// a versioned binary envelope. The sparse deployment format (tracked
+// weights + regeneration seed only) lives in internal/sparse; this package
+// is the training-time save/resume path.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"dropback/internal/nn"
+)
+
+const (
+	// Magic identifies a dense checkpoint stream ("DBCK").
+	Magic uint32 = 0x4442434B
+	// Version is the current format version.
+	Version uint32 = 1
+	// maxName bounds parameter-name lengths on read.
+	maxName = 1 << 12
+	// maxTensor bounds a single tensor's element count on read (guards
+	// against corrupt headers allocating unbounded memory).
+	maxTensor = 1 << 28
+)
+
+// Checkpoint is the in-memory form of a dense checkpoint.
+type Checkpoint struct {
+	Seed   uint64
+	Params []ParamBlob
+	BNs    []BNBlob
+}
+
+// ParamBlob is one serialized parameter tensor.
+type ParamBlob struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// BNBlob is one batch-norm layer's running statistics.
+type BNBlob struct {
+	Name        string
+	RunningMean []float32
+	RunningVar  []float32
+}
+
+// Capture snapshots a model into a Checkpoint.
+func Capture(m *nn.Model) *Checkpoint {
+	ck := &Checkpoint{Seed: m.Seed}
+	for _, p := range m.Set.Params() {
+		shape := make([]int, len(p.Value.Shape))
+		copy(shape, p.Value.Shape)
+		data := make([]float32, p.Len())
+		copy(data, p.Value.Data)
+		ck.Params = append(ck.Params, ParamBlob{Name: p.Name, Shape: shape, Data: data})
+	}
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm); ok {
+			mean := make([]float32, bn.C)
+			variance := make([]float32, bn.C)
+			copy(mean, bn.RunningMean)
+			copy(variance, bn.RunningVar)
+			ck.BNs = append(ck.BNs, BNBlob{Name: bn.Name(), RunningMean: mean, RunningVar: variance})
+		}
+	})
+	return ck
+}
+
+// Apply writes a Checkpoint's values back into a freshly constructed model
+// of the same architecture. Every parameter in the checkpoint must exist in
+// the model with a matching element count; batch norms are matched by name.
+func (ck *Checkpoint) Apply(m *nn.Model) error {
+	for _, blob := range ck.Params {
+		p := m.Set.ByName(blob.Name)
+		if p == nil {
+			return fmt.Errorf("checkpoint: model has no parameter %q", blob.Name)
+		}
+		if p.Len() != len(blob.Data) {
+			return fmt.Errorf("checkpoint: parameter %q has %d elements, checkpoint holds %d", blob.Name, p.Len(), len(blob.Data))
+		}
+		copy(p.Value.Data, blob.Data)
+	}
+	bnByName := map[string]BNBlob{}
+	for _, b := range ck.BNs {
+		bnByName[b.Name] = b
+	}
+	var applyErr error
+	nn.Walk(m.Net, func(l nn.Layer) {
+		bn, ok := l.(*nn.BatchNorm)
+		if !ok || applyErr != nil {
+			return
+		}
+		blob, ok := bnByName[bn.Name()]
+		if !ok {
+			return // model BN absent from checkpoint: keep defaults
+		}
+		if len(blob.RunningMean) != bn.C {
+			applyErr = fmt.Errorf("checkpoint: batch norm %q has %d channels, checkpoint holds %d", bn.Name(), bn.C, len(blob.RunningMean))
+			return
+		}
+		copy(bn.RunningMean, blob.RunningMean)
+		copy(bn.RunningVar, blob.RunningVar)
+	})
+	return applyErr
+}
+
+// Write serializes the checkpoint.
+func (ck *Checkpoint) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, ck.Seed); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ck.Params))); err != nil {
+		return err
+	}
+	for _, p := range ck.Params {
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(len(p.Shape))); err != nil {
+			return err
+		}
+		for _, d := range p.Shape {
+			if err := binary.Write(bw, binary.LittleEndian, int32(d)); err != nil {
+				return err
+			}
+		}
+		if err := writeFloats(bw, p.Data); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ck.BNs))); err != nil {
+		return err
+	}
+	for _, b := range ck.BNs {
+		if err := writeString(bw, b.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int32(len(b.RunningMean))); err != nil {
+			return err
+		}
+		if err := writeFloats(bw, b.RunningMean); err != nil {
+			return err
+		}
+		if err := writeFloats(bw, b.RunningVar); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a checkpoint stream.
+func Read(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	seed, err := readHeader(br, Magic)
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{Seed: seed}
+	var nParams uint32
+	if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading param count: %w", err)
+	}
+	if nParams > 1<<20 {
+		return nil, fmt.Errorf("checkpoint: implausible param count %d", nParams)
+	}
+	for i := uint32(0); i < nParams; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		rank, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: reading rank: %w", err)
+		}
+		shape := make([]int, rank)
+		total := 1
+		for j := range shape {
+			var d int32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return nil, fmt.Errorf("checkpoint: reading shape: %w", err)
+			}
+			if d <= 0 {
+				return nil, fmt.Errorf("checkpoint: non-positive dimension %d in %q", d, name)
+			}
+			shape[j] = int(d)
+			total *= int(d)
+		}
+		if total > maxTensor {
+			return nil, fmt.Errorf("checkpoint: tensor %q too large (%d elements)", name, total)
+		}
+		data, err := readFloats(br, total)
+		if err != nil {
+			return nil, err
+		}
+		ck.Params = append(ck.Params, ParamBlob{Name: name, Shape: shape, Data: data})
+	}
+	var nBN uint32
+	if err := binary.Read(br, binary.LittleEndian, &nBN); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading BN count: %w", err)
+	}
+	if nBN > 1<<20 {
+		return nil, fmt.Errorf("checkpoint: implausible BN count %d", nBN)
+	}
+	for i := uint32(0); i < nBN; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return nil, err
+		}
+		var c int32
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, fmt.Errorf("checkpoint: reading BN channels: %w", err)
+		}
+		if c <= 0 || c > maxTensor {
+			return nil, fmt.Errorf("checkpoint: implausible BN channel count %d", c)
+		}
+		mean, err := readFloats(br, int(c))
+		if err != nil {
+			return nil, err
+		}
+		variance, err := readFloats(br, int(c))
+		if err != nil {
+			return nil, err
+		}
+		ck.BNs = append(ck.BNs, BNBlob{Name: name, RunningMean: mean, RunningVar: variance})
+	}
+	return ck, nil
+}
+
+// Save writes a model checkpoint to a file.
+func Save(path string, m *nn.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Capture(m).Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a checkpoint file and applies it to the model.
+func Load(path string, m *nn.Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ck, err := Read(f)
+	if err != nil {
+		return err
+	}
+	return ck.Apply(m)
+}
+
+// --- shared low-level encoding helpers (also used by internal/sparse) ----
+
+func writeHeader(w io.Writer, seed uint64) error {
+	if err := binary.Write(w, binary.LittleEndian, Magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, Version); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, seed)
+}
+
+func readHeader(r io.Reader, wantMagic uint32) (seed uint64, err error) {
+	var magic, version uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil {
+		return 0, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if magic != wantMagic {
+		return 0, fmt.Errorf("checkpoint: bad magic %#x", magic)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return 0, fmt.Errorf("checkpoint: reading version: %w", err)
+	}
+	if version != Version {
+		return 0, fmt.Errorf("checkpoint: unsupported version %d", version)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &seed); err != nil {
+		return 0, fmt.Errorf("checkpoint: reading seed: %w", err)
+	}
+	return seed, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if len(s) > maxName {
+		return fmt.Errorf("checkpoint: name too long (%d bytes)", len(s))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("checkpoint: reading name length: %w", err)
+	}
+	if int(n) > maxName {
+		return "", fmt.Errorf("checkpoint: name too long (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("checkpoint: reading name: %w", err)
+	}
+	return string(buf), nil
+}
+
+func writeFloats(w io.Writer, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, n int) ([]float32, error) {
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading %d floats: %w", n, err)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}

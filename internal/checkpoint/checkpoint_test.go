@@ -1,0 +1,198 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dropback/internal/models"
+	"dropback/internal/nn"
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+func trainedModel(seed uint64) *nn.Model {
+	m := models.ReducedMNISTMLP("ck", 8, 16, 16, seed, nil)
+	// Perturb weights so the checkpoint differs from fresh init.
+	for g := 0; g < m.Set.Total(); g++ {
+		m.Set.Set(g, m.Set.Get(g)+0.001*float32(g%17))
+	}
+	return m
+}
+
+func convModel(seed uint64) *nn.Model {
+	net := nn.NewSequential("ckc",
+		nn.NewConv2DNoBias("ckc/c1", seed, 1, 4, 3, 1, 1),
+		nn.NewBatchNorm("ckc/bn", seed, 4),
+		nn.NewReLU("ckc/r"),
+		nn.NewGlobalAvgPool2D("ckc/gap"),
+		nn.NewLinear("ckc/fc", seed, 4, 2),
+	)
+	return nn.NewModel(net, seed)
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	m := trainedModel(3)
+	var buf bytes.Buffer
+	if err := Capture(m).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Seed != 3 {
+		t.Fatalf("seed = %d, want 3", ck.Seed)
+	}
+	fresh := models.ReducedMNISTMLP("ck", 8, 16, 16, 3, nil)
+	if err := ck.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.Set.Snapshot(), fresh.Set.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("value %d differs after round trip: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRoundTripBNStats(t *testing.T) {
+	m := convModel(5)
+	// Train a step to move BN running stats off their defaults.
+	x := tensor.New(4, 1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedNormal(9, uint64(i))
+	}
+	m.Step(x, []int{0, 1, 0, 1})
+	var buf bytes.Buffer
+	if err := Capture(m).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.BNs) != 1 {
+		t.Fatalf("captured %d BN blobs, want 1", len(ck.BNs))
+	}
+	fresh := convModel(5)
+	if err := ck.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	// Same eval output on both models proves BN stats restored.
+	y1 := m.Net.Forward(x, false)
+	y2 := fresh.Net.Forward(x, false)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("restored model's inference differs")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.dbck")
+	m := trainedModel(7)
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	fresh := models.ReducedMNISTMLP("ck", 8, 16, 16, 7, nil)
+	if err := Load(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.Set.Snapshot(), fresh.Set.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("file round trip mismatch")
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	m := trainedModel(1)
+	if err := Load(filepath.Join(t.TempDir(), "nope.dbck"), m); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(0xBADBAD))
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, Magic)
+	binary.Write(&buf, binary.LittleEndian, uint32(99))
+	binary.Write(&buf, binary.LittleEndian, uint64(1))
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected error for bad version")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	m := trainedModel(2)
+	var buf bytes.Buffer
+	if err := Capture(m).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, 20, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("expected error for truncation at %d", cut)
+		}
+	}
+}
+
+func TestReadRejectsImplausibleCounts(t *testing.T) {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, Magic)
+	binary.Write(&buf, binary.LittleEndian, Version)
+	binary.Write(&buf, binary.LittleEndian, uint64(1))
+	binary.Write(&buf, binary.LittleEndian, uint32(1<<24)) // absurd param count
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("expected error for implausible param count")
+	}
+}
+
+func TestApplyRejectsWrongArchitecture(t *testing.T) {
+	m := trainedModel(1)
+	var buf bytes.Buffer
+	Capture(m).Write(&buf)
+	ck, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := models.ReducedMNISTMLP("other", 8, 16, 16, 1, nil)
+	if err := ck.Apply(other); err == nil {
+		t.Fatal("expected error applying to a differently named model")
+	}
+	smaller := models.ReducedMNISTMLP("ck", 8, 8, 16, 1, nil)
+	if err := ck.Apply(smaller); err == nil {
+		t.Fatal("expected error applying to a smaller model")
+	}
+}
+
+func TestCaptureIsACopy(t *testing.T) {
+	m := trainedModel(4)
+	ck := Capture(m)
+	orig := ck.Params[0].Data[0]
+	m.Set.Set(0, orig+5)
+	if ck.Params[0].Data[0] != orig {
+		t.Fatal("Capture must deep-copy parameter data")
+	}
+}
+
+func TestSaveToUnwritablePath(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: permission checks are bypassed")
+	}
+	if err := Save("/nonexistent-dir/x.dbck", trainedModel(1)); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}

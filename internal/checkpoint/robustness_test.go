@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"dropback/internal/models"
+	"dropback/internal/xorshift"
+)
+
+// TestReadNeverPanicsOnCorruptInput mirrors the sparse-format hardening
+// test for the dense checkpoint format.
+func TestReadNeverPanicsOnCorruptInput(t *testing.T) {
+	m := models.ReducedMNISTMLP("rb", 8, 12, 12, 5, nil)
+	var buf bytes.Buffer
+	if err := Capture(m).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	check := func(data []byte, label string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Read panicked on %s: %v", label, r)
+			}
+		}()
+		ck, err := Read(bytes.NewReader(data))
+		if err == nil && ck != nil {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Apply panicked on %s: %v", label, r)
+				}
+			}()
+			_ = ck.Apply(models.ReducedMNISTMLP("rb", 8, 12, 12, 5, nil))
+		}
+	}
+
+	rng := xorshift.NewState64(7)
+	for trial := 0; trial < 200; trial++ {
+		mutated := make([]byte, len(valid))
+		copy(mutated, valid)
+		pos := int(rng.Uint32n(uint32(len(mutated))))
+		mutated[pos] ^= byte(1 << rng.Uint32n(8))
+		check(mutated, "byte flip")
+	}
+	for cut := 0; cut < len(valid); cut += len(valid)/53 + 1 {
+		check(valid[:cut], "truncation")
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := int(rng.Uint32n(200))
+		junk := make([]byte, n)
+		for i := range junk {
+			junk[i] = byte(rng.Next())
+		}
+		check(junk, "garbage")
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"dropback/internal/nn"
+	"dropback/internal/tensor"
+)
+
+func TestZeroUntrackedResetsToZero(t *testing.T) {
+	set, _, _ := makeSet()
+	db := New(set, Config{Budget: 2, ZeroUntracked: true})
+	perturbAll(set, 0.01)
+	db.Apply()
+	mask := db.Mask()
+	for g := 0; g < set.Total(); g++ {
+		if mask[g] {
+			continue
+		}
+		if set.Get(g) != 0 {
+			t.Fatalf("untracked weight %d = %v, want 0 under ZeroUntracked", g, set.Get(g))
+		}
+	}
+}
+
+func TestSelectByMagnitudeScoresAbsoluteValue(t *testing.T) {
+	set, _, _ := makeSet()
+	db := New(set, Config{Budget: 1, SelectByMagnitude: true})
+	// Weight 5 has the largest |value| even though weight 9 moved most.
+	set.Set(5, 100)
+	set.Set(9, set.InitialValue(9)+50) // likely |value| < 100
+	db.Apply()
+	if !db.Mask()[5] {
+		t.Fatal("SelectByMagnitude must track the largest-|w| weight")
+	}
+}
+
+func TestZeroVsRegenAblationAccuracyGap(t *testing.T) {
+	// The §2.1 ablation in miniature: at a tight budget, regenerating
+	// untracked weights to their init must train at least as well as
+	// zeroing them on a task where the scaffolding matters.
+	trainOne := func(zero bool) float64 {
+		net := nn.NewSequential("abl",
+			nn.NewLinear("abl/fc1", 55, 8, 24),
+			nn.NewReLU("abl/r"),
+			nn.NewLinear("abl/fc2", 55, 24, 4),
+		)
+		m := nn.NewModel(net, 55)
+		db := New(m.Set, Config{Budget: m.Set.Total() / 10, ZeroUntracked: zero})
+		x := tensor.New(24, 8)
+		labels := make([]int, 24)
+		for i := range labels {
+			labels[i] = i % 4
+			x.Set(1, i, i%4)
+			x.Set(0.5, i, (i+3)%8)
+		}
+		for it := 0; it < 250; it++ {
+			m.Step(x, labels)
+			for _, p := range m.Set.Params() {
+				tensor.AXPY(-0.2, p.Grad, p.Value)
+			}
+			db.Apply()
+		}
+		_, acc := m.Eval(x, labels)
+		return acc
+	}
+	regen := trainOne(false)
+	zeroed := trainOne(true)
+	if regen < zeroed-1e-9 {
+		t.Fatalf("regeneration (%v) should not underperform zeroing (%v) at tight budgets", regen, zeroed)
+	}
+}
+
+func TestPerLayerBudgetAllocatesProportionally(t *testing.T) {
+	set, fc1, fc2 := makeSet() // 35 + 18 = 53 params
+	_ = fc1
+	_ = fc2
+	db := New(set, Config{Budget: 10, PerLayerBudget: true})
+	perturbAll(set, 0.01)
+	db.Apply()
+	if db.TrackedCount() != 10 {
+		t.Fatalf("tracked %d, want exactly the budget 10", db.TrackedCount())
+	}
+	// Each tensor's retention must match its proportional share (last
+	// tensor absorbs rounding): shares for (30,5,15,3) of 53 with k=10 are
+	// floor(10*len/53) = (5,0,2, rest=3).
+	want := []int{5, 0, 2, 3}
+	for i, r := range db.RetentionByParam() {
+		if r.Retained != want[i] {
+			t.Fatalf("param %d (%s) retained %d, want %d", i, r.Name, r.Retained, want[i])
+		}
+	}
+}
+
+func TestPerLayerBudgetVsGlobalDiffer(t *testing.T) {
+	// Concentrate all large gradients in one tensor: global selection puts
+	// the whole budget there; per-layer cannot.
+	mk := func(perLayer bool) []LayerRetention {
+		set, _, _ := makeSet()
+		db := New(set, Config{Budget: 6, PerLayerBudget: perLayer})
+		for g := 35; g < 53; g++ { // fc2 region
+			set.Set(g, set.InitialValue(g)+float32(g))
+		}
+		db.Apply()
+		return db.RetentionByParam()
+	}
+	global := mk(false)
+	perLayer := mk(true)
+	if global[2].Retained+global[3].Retained != 6 {
+		t.Fatalf("global selection should give fc2 everything, got %+v", global)
+	}
+	if perLayer[0].Retained == 0 {
+		t.Fatalf("per-layer must reserve budget for fc1/W, got %+v", perLayer)
+	}
+}

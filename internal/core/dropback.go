@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dropback/internal/nn"
+)
+
+// Config parameterizes a DropBack run.
+type Config struct {
+	// Budget is k, the number of weights whose updates are tracked. All
+	// other weights are regenerated to their initialization values after
+	// every step.
+	Budget int
+	// FreezeAfterEpoch, if >= 0, freezes the tracked set at the end of
+	// that (zero-based) epoch: afterwards no new weights may enter the set
+	// (the paper's "freeze the tracked parameter set after a small number
+	// of epochs"). Negative means never freeze.
+	FreezeAfterEpoch int
+	// Strategy selects the top-k engine (quickselect or bounded min-heap).
+	Strategy TopKStrategy
+	// DryRun observes which weights would be tracked without constraining
+	// the network — used to reproduce Fig 2's baseline-SGD telemetry.
+	DryRun bool
+	// ZeroUntracked resets untracked weights to zero instead of their
+	// regenerated initialization values — the ablation of §2.1, where the
+	// paper reports zeroing cuts achievable compression from 60× to 2×
+	// ("preserving the scaffolding provided by the initialization values
+	// is critical").
+	ZeroUntracked bool
+	// SelectByMagnitude scores weights by |W_t| rather than accumulated
+	// gradient |W_t − W_0| — the "naïve approach" §2.1 argues against.
+	SelectByMagnitude bool
+	// PerLayerBudget allocates the budget proportionally to each parameter
+	// tensor's size and selects top-k within each tensor, instead of the
+	// paper's single global competition. Table 2 shows the global scheme
+	// deliberately skews retention toward later layers; this ablation
+	// quantifies what that freedom is worth.
+	PerLayerBudget bool
+}
+
+// DropBack applies the paper's continuous-pruning constraint to a model's
+// flat parameter space after every SGD update.
+//
+// The accumulated gradient of weight i is |W_t[i] − W_0[i]|: because
+// untracked weights are regenerated to W_0 after every step, this single
+// expression covers both cases of Algorithm 1 — for tracked weights it is
+// the magnitude of the sum of all applied updates, and for a previously
+// untracked weight it is exactly |α·∂f/∂w| from the current step, its bid
+// to enter the tracked set.
+type DropBack struct {
+	cfg Config
+	set *nn.ParamSet
+
+	scores   []float32
+	mask     []bool
+	prevMask []bool
+	havePrev bool
+	frozen   bool
+
+	// Telemetry.
+	stepCount     int
+	swapHistory   []int
+	regenerations int64
+	trackedWrites int64
+}
+
+// New builds a DropBack constraint over the given parameter set. Budget
+// must be positive and is clamped to the parameter count.
+func New(set *nn.ParamSet, cfg Config) *DropBack {
+	if cfg.Budget <= 0 {
+		panic(fmt.Sprintf("core: budget must be positive, got %d", cfg.Budget))
+	}
+	if cfg.Budget > set.Total() {
+		cfg.Budget = set.Total()
+	}
+	n := set.Total()
+	return &DropBack{
+		cfg:      cfg,
+		set:      set,
+		scores:   make([]float32, n),
+		mask:     make([]bool, n),
+		prevMask: make([]bool, n),
+	}
+}
+
+// Config returns the configuration the constraint was built with.
+func (d *DropBack) Config() Config { return d.cfg }
+
+// Budget returns k, the tracked-weight budget.
+func (d *DropBack) Budget() int { return d.cfg.Budget }
+
+// CompressionRatio returns total parameters divided by the budget — the
+// "weight compression" column of the paper's tables.
+func (d *DropBack) CompressionRatio() float64 {
+	return float64(d.set.Total()) / float64(d.cfg.Budget)
+}
+
+// Apply enforces the DropBack constraint after an SGD update: it recomputes
+// accumulated gradients, selects the top-k set (unless frozen), and
+// regenerates every untracked weight to its initialization value. It
+// returns the number of weights that entered the tracked set this step.
+func (d *DropBack) Apply() int {
+	d.stepCount++
+	if d.frozen {
+		// Selection is fixed; only the regeneration of untracked weights
+		// remains (their gradients no longer need to be computed at all —
+		// the compute/energy saving the paper freezes for).
+		if !d.cfg.DryRun {
+			d.regenerateUntracked()
+		}
+		d.swapHistory = append(d.swapHistory, 0)
+		return 0
+	}
+	d.computeScores()
+	d.selectMask()
+	swaps := 0
+	if d.havePrev {
+		for i, m := range d.mask {
+			if m && !d.prevMask[i] {
+				swaps++
+			}
+		}
+	}
+	d.swapHistory = append(d.swapHistory, swaps)
+	if !d.cfg.DryRun {
+		d.regenerateUntracked()
+	}
+	d.mask, d.prevMask = d.prevMask, d.mask
+	d.havePrev = true
+	// After the swap, prevMask holds the current selection.
+	return swaps
+}
+
+// computeScores fills d.scores with |W_t − W_0| for every global index.
+// Under the SelectByMagnitude ablation the score is |W_t| instead; the
+// ZeroUntracked ablation also scores against zero, because zero is the
+// reset point untracked weights accumulate from there.
+func (d *DropBack) computeScores() {
+	if d.cfg.SelectByMagnitude || d.cfg.ZeroUntracked {
+		for i, p := range d.set.Params() {
+			base := d.set.Offset(i)
+			for e, v := range p.Value.Data {
+				if v < 0 {
+					v = -v
+				}
+				d.scores[base+e] = v
+			}
+		}
+		return
+	}
+	d.set.VisitDiffFromInit(func(g int, diff float32) {
+		d.scores[g] = diff
+	})
+}
+
+// selectMask writes the current top-k selection into d.mask: one global
+// competition by default, or per-tensor competitions under the
+// PerLayerBudget ablation.
+func (d *DropBack) selectMask() {
+	if !d.cfg.PerLayerBudget {
+		SelectTopKInto(d.mask, d.scores, d.cfg.Budget, d.cfg.Strategy)
+		return
+	}
+	total := d.set.Total()
+	remaining := d.cfg.Budget
+	params := d.set.Params()
+	for i, p := range params {
+		base := d.set.Offset(i)
+		// Proportional share, rounded; the final tensor absorbs rounding
+		// drift so the overall budget is exact.
+		share := d.cfg.Budget * p.Len() / total
+		if i == len(params)-1 {
+			share = remaining
+		}
+		if share > p.Len() {
+			share = p.Len()
+		}
+		if share < 0 {
+			share = 0
+		}
+		remaining -= share
+		SelectTopKInto(d.mask[base:base+p.Len()], d.scores[base:base+p.Len()], share, d.cfg.Strategy)
+	}
+}
+
+// regenerateUntracked resets every weight outside d.mask to its regenerated
+// initialization value (or zero under the ZeroUntracked ablation).
+func (d *DropBack) regenerateUntracked() {
+	for i, p := range d.set.Params() {
+		base := d.set.Offset(i)
+		for e := range p.Value.Data {
+			if d.mask[base+e] {
+				d.trackedWrites++
+				continue
+			}
+			if d.cfg.ZeroUntracked {
+				p.Value.Data[e] = 0
+			} else {
+				p.Value.Data[e] = p.Init.Regenerate(e)
+			}
+			d.regenerations++
+		}
+	}
+}
+
+// Freeze fixes the tracked set from this point on. If called before the
+// first Apply, the initial selection happens on the next Apply and then
+// freezes (mask would otherwise be empty).
+func (d *DropBack) Freeze() {
+	if !d.havePrev {
+		// No selection yet: run one selection so the frozen set is the
+		// current top-k rather than the empty set. The frozen path reads
+		// d.mask directly, so select straight into it.
+		d.computeScores()
+		d.selectMask()
+		copy(d.prevMask, d.mask)
+		d.havePrev = true
+	} else {
+		// prevMask holds the latest selection; copy it into the active mask.
+		copy(d.mask, d.prevMask)
+	}
+	d.frozen = true
+}
+
+// Frozen reports whether the tracked set is frozen.
+func (d *DropBack) Frozen() bool { return d.frozen }
+
+// MaybeFreezeAtEpochEnd freezes the tracked set if the configured freeze
+// epoch has just completed. The trainer calls it after every epoch.
+func (d *DropBack) MaybeFreezeAtEpochEnd(epoch int) {
+	if !d.frozen && d.cfg.FreezeAfterEpoch >= 0 && epoch >= d.cfg.FreezeAfterEpoch {
+		d.Freeze()
+	}
+}
+
+// Mask returns a copy of the current tracked-set mask over global indices.
+func (d *DropBack) Mask() []bool {
+	src := d.mask
+	if d.havePrev && !d.frozen {
+		src = d.prevMask // latest selection lives in prevMask after Apply
+	}
+	out := make([]bool, len(src))
+	copy(out, src)
+	return out
+}
+
+// TrackedCount returns the number of currently tracked weights.
+func (d *DropBack) TrackedCount() int {
+	n := 0
+	for _, m := range d.Mask() {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// AccumulatedGradients returns a copy of the most recent |W_t − W_0| score
+// vector (Fig 1's distribution). Call after at least one Apply.
+func (d *DropBack) AccumulatedGradients() []float32 {
+	out := make([]float32, len(d.scores))
+	copy(out, d.scores)
+	return out
+}
+
+// SwapHistory returns the number of weights that entered the tracked set at
+// each step (Fig 2's series).
+func (d *DropBack) SwapHistory() []int {
+	out := make([]int, len(d.swapHistory))
+	copy(out, d.swapHistory)
+	return out
+}
+
+// Regenerations returns the total number of untracked-weight regenerations
+// performed — each one replacing what would otherwise be an off-chip weight
+// store+load pair (the energy model consumes this).
+func (d *DropBack) Regenerations() int64 { return d.regenerations }
+
+// TrackedWrites returns the total number of tracked-weight writes retained.
+func (d *DropBack) TrackedWrites() int64 { return d.trackedWrites }
+
+// LayerRetention describes how many of a parameter tensor's weights are in
+// the tracked set — Table 2's per-layer breakdown.
+type LayerRetention struct {
+	Name     string
+	Total    int
+	Retained int
+}
+
+// Compression returns the per-layer compression ratio Total/Retained
+// (infinite retention maps to 0 retained; reported as +Inf by the caller).
+func (r LayerRetention) Compression() float64 {
+	if r.Retained == 0 {
+		return 0
+	}
+	return float64(r.Total) / float64(r.Retained)
+}
+
+// RetentionByParam returns the tracked count for every parameter tensor, in
+// registration order.
+func (d *DropBack) RetentionByParam() []LayerRetention {
+	mask := d.Mask()
+	out := make([]LayerRetention, 0, len(d.set.Params()))
+	for i, p := range d.set.Params() {
+		base := d.set.Offset(i)
+		r := LayerRetention{Name: p.Name, Total: p.Len()}
+		for e := 0; e < p.Len(); e++ {
+			if mask[base+e] {
+				r.Retained++
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// RetentionByLayer aggregates RetentionByParam by layer name (the parameter
+// name up to the final '/'), sorted by name for stable output.
+func (d *DropBack) RetentionByLayer() []LayerRetention {
+	byLayer := map[string]*LayerRetention{}
+	for _, r := range d.RetentionByParam() {
+		layer := r.Name
+		if i := lastSlash(layer); i >= 0 {
+			layer = layer[:i]
+		}
+		agg, ok := byLayer[layer]
+		if !ok {
+			agg = &LayerRetention{Name: layer}
+			byLayer[layer] = agg
+		}
+		agg.Total += r.Total
+		agg.Retained += r.Retained
+	}
+	names := make([]string, 0, len(byLayer))
+	for n := range byLayer {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]LayerRetention, 0, len(names))
+	for _, n := range names {
+		out = append(out, *byLayer[n])
+	}
+	return out
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,142 @@
+package data
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// Augmentation transforms. §3 of the paper states "No data augmentation of
+// CIFAR-10 was performed", so none of the experiments use these; they are
+// part of the library surface because any adopter training on real CIFAR
+// will want the standard crop/flip pipeline, and the batcher integration
+// keeps determinism (a seeded stream drives all randomness).
+
+// Augmenter transforms one sample in place or returns a transformed copy.
+type Augmenter interface {
+	// Apply transforms a single (C, H, W) image, returning the result
+	// (which may alias the input when the transform is identity).
+	Apply(img *tensor.Tensor, rng *xorshift.State64) *tensor.Tensor
+}
+
+// HorizontalFlip mirrors the image left-right with probability P.
+type HorizontalFlip struct {
+	// P is the flip probability (0.5 is standard).
+	P float32
+}
+
+// Apply implements Augmenter.
+func (h HorizontalFlip) Apply(img *tensor.Tensor, rng *xorshift.State64) *tensor.Tensor {
+	if rng.Float32() >= h.P {
+		return img
+	}
+	c, ht, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	out := tensor.New(c, ht, w)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < ht; y++ {
+			rowBase := (ci*ht + y) * w
+			for x := 0; x < w; x++ {
+				out.Data[rowBase+x] = img.Data[rowBase+w-1-x]
+			}
+		}
+	}
+	return out
+}
+
+// RandomCrop pads the image by Pad pixels of zeros on each side and crops a
+// random window back to the original size — the standard CIFAR augmentation.
+type RandomCrop struct {
+	// Pad is the zero-padding applied before cropping (4 is standard).
+	Pad int
+}
+
+// Apply implements Augmenter.
+func (r RandomCrop) Apply(img *tensor.Tensor, rng *xorshift.State64) *tensor.Tensor {
+	if r.Pad <= 0 {
+		return img
+	}
+	c, ht, w := img.Shape[0], img.Shape[1], img.Shape[2]
+	// Crop offset within the padded frame: [0, 2*Pad].
+	dy := int(rng.Uint32n(uint32(2*r.Pad + 1)))
+	dx := int(rng.Uint32n(uint32(2*r.Pad + 1)))
+	out := tensor.New(c, ht, w)
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < ht; y++ {
+			srcY := y + dy - r.Pad
+			if srcY < 0 || srcY >= ht {
+				continue // zero padding
+			}
+			for x := 0; x < w; x++ {
+				srcX := x + dx - r.Pad
+				if srcX < 0 || srcX >= w {
+					continue
+				}
+				out.Data[(ci*ht+y)*w+x] = img.Data[(ci*ht+srcY)*w+srcX]
+			}
+		}
+	}
+	return out
+}
+
+// GaussianNoise adds zero-mean pixel noise with the given standard
+// deviation.
+type GaussianNoise struct {
+	Sigma float32
+}
+
+// Apply implements Augmenter.
+func (g GaussianNoise) Apply(img *tensor.Tensor, rng *xorshift.State64) *tensor.Tensor {
+	if g.Sigma <= 0 {
+		return img
+	}
+	out := img.Clone()
+	for i := range out.Data {
+		out.Data[i] += g.Sigma * float32(rng.NormFloat64())
+	}
+	return out
+}
+
+// AugmentingBatcher wraps a Batcher, applying a chain of augmenters to
+// every sample of every batch. Augmentation randomness comes from its own
+// deterministic stream, so runs remain reproducible.
+type AugmentingBatcher struct {
+	*Batcher
+	augments []Augmenter
+	rng      *xorshift.State64
+	shape    []int // per-sample (C, H, W)
+}
+
+// NewAugmentingBatcher wraps a batcher over an image dataset ((N, C, H, W)
+// samples) with the given augmenter chain.
+func NewAugmentingBatcher(ds *Dataset, batchSize int, seed uint64, augments ...Augmenter) *AugmentingBatcher {
+	if len(ds.X.Shape) != 4 {
+		panic(fmt.Sprintf("data: augmentation requires (N,C,H,W) data, got %v", ds.X.Shape))
+	}
+	return &AugmentingBatcher{
+		Batcher:  NewBatcher(ds, batchSize, seed),
+		augments: augments,
+		rng:      xorshift.NewState64(xorshift.TensorSeed(seed, 0xA06)),
+		shape:    ds.X.Shape[1:],
+	}
+}
+
+// Next returns the next augmented batch.
+func (b *AugmentingBatcher) Next() (*tensor.Tensor, []int) {
+	x, y := b.Batcher.Next()
+	if len(b.augments) == 0 {
+		return x, y
+	}
+	c, h, w := b.shape[0], b.shape[1], b.shape[2]
+	ss := c * h * w
+	n := x.Shape[0]
+	out := tensor.New(n, c, h, w)
+	for i := 0; i < n; i++ {
+		img := tensor.FromSlice(x.Data[i*ss:(i+1)*ss], c, h, w)
+		for _, a := range b.augments {
+			img = a.Apply(img, b.rng)
+		}
+		copy(out.Data[i*ss:(i+1)*ss], img.Data)
+	}
+	return out, y
+}

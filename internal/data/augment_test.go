@@ -1,0 +1,173 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+func sampleImage() *tensor.Tensor {
+	img := tensor.New(1, 4, 4)
+	for i := range img.Data {
+		img.Data[i] = float32(i)
+	}
+	return img
+}
+
+func TestHorizontalFlipAlways(t *testing.T) {
+	rng := xorshift.NewState64(1)
+	img := sampleImage()
+	out := HorizontalFlip{P: 1}.Apply(img, rng)
+	// Row 0 was [0 1 2 3]; must become [3 2 1 0].
+	want := []float32{3, 2, 1, 0}
+	for x, v := range want {
+		if out.At(0, 0, x) != v {
+			t.Fatalf("flipped row = %v..., want %v", out.Data[:4], want)
+		}
+	}
+	// Double flip restores the original.
+	back := HorizontalFlip{P: 1}.Apply(out, rng)
+	for i := range img.Data {
+		if back.Data[i] != img.Data[i] {
+			t.Fatal("double flip must be identity")
+		}
+	}
+}
+
+func TestHorizontalFlipNever(t *testing.T) {
+	rng := xorshift.NewState64(1)
+	img := sampleImage()
+	if out := (HorizontalFlip{P: 0}).Apply(img, rng); out != img {
+		t.Fatal("P=0 must return the input unchanged")
+	}
+}
+
+func TestRandomCropPreservesShapeAndMass(t *testing.T) {
+	rng := xorshift.NewState64(7)
+	img := sampleImage()
+	for trial := 0; trial < 50; trial++ {
+		out := RandomCrop{Pad: 2}.Apply(img, rng)
+		if !out.SameShape(img) {
+			t.Fatalf("crop changed shape: %v", out.Shape)
+		}
+		// A crop never creates pixel values that weren't in the source.
+		for _, v := range out.Data {
+			if v < 0 || v > 15 {
+				t.Fatalf("crop invented value %v", v)
+			}
+		}
+	}
+}
+
+func TestRandomCropZeroPadIsIdentity(t *testing.T) {
+	rng := xorshift.NewState64(1)
+	img := sampleImage()
+	if out := (RandomCrop{Pad: 0}).Apply(img, rng); out != img {
+		t.Fatal("Pad=0 must return the input")
+	}
+}
+
+func TestRandomCropShiftsContent(t *testing.T) {
+	// Over many trials, at least one crop must differ from the original.
+	rng := xorshift.NewState64(3)
+	img := sampleImage()
+	moved := false
+	for trial := 0; trial < 20 && !moved; trial++ {
+		out := RandomCrop{Pad: 1}.Apply(img, rng)
+		for i := range img.Data {
+			if out.Data[i] != img.Data[i] {
+				moved = true
+				break
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("random crop never moved the content")
+	}
+}
+
+func TestGaussianNoisePerturbsWithSigma(t *testing.T) {
+	rng := xorshift.NewState64(9)
+	img := tensor.New(1, 10, 10)
+	out := GaussianNoise{Sigma: 0.5}.Apply(img, rng)
+	var sumSq float64
+	for _, v := range out.Data {
+		sumSq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumSq / float64(len(out.Data)))
+	if std < 0.3 || std > 0.7 {
+		t.Fatalf("noise std = %v, want ~0.5", std)
+	}
+	if g := (GaussianNoise{Sigma: 0}).Apply(img, rng); g != img {
+		t.Fatal("Sigma=0 must return the input")
+	}
+}
+
+func TestAugmentingBatcherDeterministicAndShaped(t *testing.T) {
+	ds := Generate(CIFARLike(40, 4))
+	mk := func() *AugmentingBatcher {
+		return NewAugmentingBatcher(ds, 8, 11,
+			RandomCrop{Pad: 2}, HorizontalFlip{P: 0.5}, GaussianNoise{Sigma: 0.05})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 5; i++ {
+		xa, ya := a.Next()
+		xb, yb := b.Next()
+		if !xa.SameShape(xb) || xa.Shape[0] != 8 {
+			t.Fatalf("batch shapes: %v vs %v", xa.Shape, xb.Shape)
+		}
+		for j := range xa.Data {
+			if xa.Data[j] != xb.Data[j] {
+				t.Fatal("same-seed augmenting batchers must produce identical batches")
+			}
+		}
+		for j := range ya {
+			if ya[j] != yb[j] {
+				t.Fatal("labels must match")
+			}
+		}
+	}
+}
+
+func TestAugmentingBatcherNoAugmentsPassesThrough(t *testing.T) {
+	ds := Generate(CIFARLike(20, 5))
+	b := NewAugmentingBatcher(ds, 4, 1)
+	x, y := b.Next()
+	if x.Shape[0] != 4 || len(y) != 4 {
+		t.Fatal("pass-through batch malformed")
+	}
+}
+
+func TestAugmentingBatcherRejectsFlatData(t *testing.T) {
+	ds := Generate(MNISTLike(20, 1)).Flatten()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for flat data")
+		}
+	}()
+	NewAugmentingBatcher(ds, 4, 1, HorizontalFlip{P: 0.5})
+}
+
+func TestAugmentedTrainingStillLearns(t *testing.T) {
+	// End-to-end: augmentation must not break the training loop. (The
+	// paper's experiments do not use augmentation; this validates the
+	// library feature.)
+	ds := Generate(SynthConfig{
+		Classes: 10, Samples: 200, Size: 8, Channels: 3,
+		Bumps: 4, MaxShift: 1, Noise: 0.1, Seed: 77,
+	})
+	b := NewAugmentingBatcher(ds, 16, 3, HorizontalFlip{P: 0.5}, GaussianNoise{Sigma: 0.02})
+	covered := 0
+	for i := 0; i < b.BatchesPerEpoch(); i++ {
+		x, y := b.Next()
+		if x.HasNaN() {
+			t.Fatal("augmented batch contains NaN")
+		}
+		covered += len(y)
+	}
+	if covered != 192 {
+		t.Fatalf("epoch covered %d samples, want 192", covered)
+	}
+}

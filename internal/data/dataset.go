@@ -1,0 +1,144 @@
+// Package data provides the datasets the experiments train on: procedural
+// MNIST-like and CIFAR-like image generators (used because the offline
+// environment has no real datasets; see DESIGN.md §1 for the substitution
+// argument), loaders for the real MNIST IDX and CIFAR-10 binary formats
+// (used automatically when files are present), and deterministic shuffling
+// batchers.
+package data
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// Dataset is a labeled image classification dataset held in memory.
+type Dataset struct {
+	// X has shape (N, C, H, W) for image data or (N, D) for flat data.
+	X *tensor.Tensor
+	// Y holds the class label of each sample.
+	Y []int
+	// Classes is the number of distinct labels.
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// sampleSize returns the number of scalars per sample.
+func (d *Dataset) sampleSize() int {
+	return d.X.Len() / d.X.Shape[0]
+}
+
+// Subset gathers the samples at the given indices into a new dataset.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	ss := d.sampleSize()
+	shape := append([]int{len(idx)}, d.X.Shape[1:]...)
+	x := tensor.New(shape...)
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= d.Len() {
+			panic(fmt.Sprintf("data: subset index %d out of range", j))
+		}
+		copy(x.Data[i*ss:(i+1)*ss], d.X.Data[j*ss:(j+1)*ss])
+		y[i] = d.Y[j]
+	}
+	return &Dataset{X: x, Y: y, Classes: d.Classes}
+}
+
+// Batch copies samples [lo, hi) into a batch tensor and label slice.
+func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, []int) {
+	if lo < 0 || hi > d.Len() || lo >= hi {
+		panic(fmt.Sprintf("data: bad batch range [%d,%d) of %d", lo, hi, d.Len()))
+	}
+	ss := d.sampleSize()
+	shape := append([]int{hi - lo}, d.X.Shape[1:]...)
+	x := tensor.FromSlice(d.X.Data[lo*ss:hi*ss], shape...)
+	return x, d.Y[lo:hi]
+}
+
+// Flatten returns a view of the dataset with (N, C*H*W) sample shape, for
+// MLP models.
+func (d *Dataset) Flatten() *Dataset {
+	return &Dataset{
+		X:       d.X.Reshape(d.X.Shape[0], -1),
+		Y:       d.Y,
+		Classes: d.Classes,
+	}
+}
+
+// Split partitions the dataset into a training set of n samples and a
+// validation set of the rest, in order (generators already randomize
+// sample order).
+func (d *Dataset) Split(n int) (train, val *Dataset) {
+	if n <= 0 || n >= d.Len() {
+		panic(fmt.Sprintf("data: split size %d out of (0,%d)", n, d.Len()))
+	}
+	idxTrain := make([]int, n)
+	idxVal := make([]int, d.Len()-n)
+	for i := range idxTrain {
+		idxTrain[i] = i
+	}
+	for i := range idxVal {
+		idxVal[i] = n + i
+	}
+	return d.Subset(idxTrain), d.Subset(idxVal)
+}
+
+// Batcher iterates a dataset in shuffled mini-batches, reshuffling at the
+// start of every epoch with a deterministic xorshift stream.
+type Batcher struct {
+	ds        *Dataset
+	BatchSize int
+	rng       *xorshift.State64
+	perm      []int
+	pos       int
+}
+
+// NewBatcher returns a batcher over ds with the given batch size and
+// shuffle seed.
+func NewBatcher(ds *Dataset, batchSize int, seed uint64) *Batcher {
+	if batchSize <= 0 {
+		panic("data: batch size must be positive")
+	}
+	if batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	b := &Batcher{ds: ds, BatchSize: batchSize, rng: xorshift.NewState64(seed)}
+	b.reshuffle()
+	return b
+}
+
+func (b *Batcher) reshuffle() {
+	if b.perm == nil {
+		b.perm = make([]int, b.ds.Len())
+		for i := range b.perm {
+			b.perm[i] = i
+		}
+	}
+	// Fisher–Yates with the deterministic stream.
+	for i := len(b.perm) - 1; i > 0; i-- {
+		j := int(b.rng.Uint32n(uint32(i + 1)))
+		b.perm[i], b.perm[j] = b.perm[j], b.perm[i]
+	}
+	b.pos = 0
+}
+
+// BatchesPerEpoch returns the number of full batches per epoch (a trailing
+// partial batch is dropped, keeping batch statistics uniform).
+func (b *Batcher) BatchesPerEpoch() int {
+	return b.ds.Len() / b.BatchSize
+}
+
+// Next returns the next shuffled mini-batch, reshuffling when the epoch is
+// exhausted.
+func (b *Batcher) Next() (*tensor.Tensor, []int) {
+	if b.pos+b.BatchSize > b.ds.Len() {
+		b.reshuffle()
+	}
+	idx := b.perm[b.pos : b.pos+b.BatchSize]
+	b.pos += b.BatchSize
+	sub := b.ds.Subset(idx)
+	return sub.X, sub.Y
+}

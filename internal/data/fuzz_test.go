@@ -1,0 +1,65 @@
+package data
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadIDXImages hardens the IDX image parser against arbitrary input:
+// it must either parse or error, never panic or over-allocate (the reader
+// bounds dimensions before allocating).
+func FuzzReadIDXImages(f *testing.F) {
+	ds := Generate(MNISTLike(10, 1))
+	var im bytes.Buffer
+	if err := WriteIDXImages(&im, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(im.Bytes())
+	f.Add(im.Bytes()[:10])
+	f.Add([]byte{0, 0, 8, 3, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := ReadIDXImages(bytes.NewReader(data))
+		if err == nil && x.Len() == 0 {
+			t.Fatal("successful parse must yield a non-empty tensor")
+		}
+	})
+}
+
+// FuzzReadIDXLabels hardens the label parser the same way.
+func FuzzReadIDXLabels(f *testing.F) {
+	ds := Generate(MNISTLike(10, 1))
+	var lb bytes.Buffer
+	if err := WriteIDXLabels(&lb, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(lb.Bytes())
+	f.Add([]byte{0, 0, 8, 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		y, err := ReadIDXLabels(bytes.NewReader(data))
+		if err == nil && len(y) == 0 {
+			t.Fatal("successful parse must yield labels")
+		}
+	})
+}
+
+// FuzzReadCIFAR10Binary hardens the CIFAR batch parser.
+func FuzzReadCIFAR10Binary(f *testing.F) {
+	ds := Generate(CIFARLike(10, 1))
+	var buf bytes.Buffer
+	if err := WriteCIFAR10Binary(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(make([]byte, cifarRecordSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := ReadCIFAR10Binary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, y := range ds.Y {
+			if y < 0 || y > 9 {
+				t.Fatalf("parsed label %d out of range", y)
+			}
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package data
+
+import (
+	"math"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// SynthConfig parameterizes the procedural dataset generators. Each class
+// is a smooth random template (a sum of Gaussian bumps whose positions,
+// widths and amplitudes are seeded by the class index); each sample is the
+// class template under a random sub-pixel translation, per-sample contrast
+// jitter, and additive pixel noise. The task is easy enough for small
+// models to learn yet has enough intra-class variation that pruning
+// pressure shows up as accuracy loss — the property the paper's tables
+// measure.
+type SynthConfig struct {
+	// Classes is the number of labels (10 for both MNIST and CIFAR).
+	Classes int
+	// Samples is the total sample count, spread evenly over classes.
+	Samples int
+	// Size is the square image side (28 for MNIST-like, 32 for CIFAR-like).
+	Size int
+	// Channels is 1 for grayscale, 3 for color.
+	Channels int
+	// Bumps is the number of class-specific Gaussian bumps per template.
+	Bumps int
+	// SharedBumps is the number of bumps common to every class — shared
+	// structure the classifier must learn to look past.
+	SharedBumps int
+	// Distractors is the number of random per-sample clutter bumps.
+	Distractors int
+	// JitterSigma is the per-bump positional jitter (pixels) applied per
+	// sample on top of the global shift.
+	JitterSigma float64
+	// MaxShift is the translation range in pixels (±MaxShift).
+	MaxShift int
+	// Noise is the additive Gaussian pixel-noise standard deviation.
+	Noise float32
+	// Seed drives all randomness; equal seeds give bit-identical datasets.
+	Seed uint64
+}
+
+// MNISTLike returns the default synthetic stand-in for MNIST: 28×28
+// grayscale, 10 classes.
+func MNISTLike(samples int, seed uint64) SynthConfig {
+	return SynthConfig{
+		Classes: 10, Samples: samples, Size: 28, Channels: 1,
+		Bumps: 5, SharedBumps: 3, Distractors: 3, JitterSigma: 1.2,
+		MaxShift: 2, Noise: 0.2, Seed: seed,
+	}
+}
+
+// CIFARLike returns the default synthetic stand-in for CIFAR-10: 32×32
+// color, 10 classes, noisier and with more translation than MNISTLike
+// (CIFAR is "a much more challenging task than MNIST", §3).
+func CIFARLike(samples int, seed uint64) SynthConfig {
+	return SynthConfig{
+		Classes: 10, Samples: samples, Size: 32, Channels: 3,
+		Bumps: 7, SharedBumps: 4, Distractors: 5, JitterSigma: 1.5,
+		MaxShift: 3, Noise: 0.3, Seed: seed,
+	}
+}
+
+// bump is one Gaussian component of a class template.
+type bump struct {
+	cx, cy, sigma, amp float64
+	channel            int
+}
+
+// classTemplate generates the deterministic bump set for one class:
+// SharedBumps common to all classes (derived from the dataset seed only)
+// followed by Bumps class-specific ones.
+func classTemplate(cfg SynthConfig, class int) []bump {
+	bumps := make([]bump, 0, cfg.SharedBumps+cfg.Bumps)
+	shared := xorshift.NewState64(xorshift.TensorSeed(cfg.Seed, 0x5A4ED))
+	for i := 0; i < cfg.SharedBumps; i++ {
+		bumps = append(bumps, randomBump(cfg, shared))
+	}
+	rng := xorshift.NewState64(xorshift.TensorSeed(cfg.Seed, uint64(class)+0xC1A55))
+	for i := 0; i < cfg.Bumps; i++ {
+		bumps = append(bumps, randomBump(cfg, rng))
+	}
+	return bumps
+}
+
+// randomBump draws one bump from the stream.
+func randomBump(cfg SynthConfig, rng *xorshift.State64) bump {
+	b := bump{
+		cx:      rng.Float64() * float64(cfg.Size),
+		cy:      rng.Float64() * float64(cfg.Size),
+		sigma:   1.5 + rng.Float64()*float64(cfg.Size)/8,
+		amp:     0.5 + rng.Float64(),
+		channel: int(rng.Uint32n(uint32(cfg.Channels))),
+	}
+	if rng.Float64() < 0.3 {
+		b.amp = -b.amp
+	}
+	return b
+}
+
+// Generate builds the dataset: shape (Samples, Channels, Size, Size),
+// pixel values roughly in [0, 1], labels interleaved round-robin and then
+// shuffled so Split produces class-balanced partitions.
+func Generate(cfg SynthConfig) *Dataset {
+	if cfg.Classes <= 1 || cfg.Samples < cfg.Classes || cfg.Size <= 0 || cfg.Channels <= 0 {
+		panic("data: invalid synth config")
+	}
+	templates := make([][]bump, cfg.Classes)
+	for c := range templates {
+		templates[c] = classTemplate(cfg, c)
+	}
+	x := tensor.New(cfg.Samples, cfg.Channels, cfg.Size, cfg.Size)
+	y := make([]int, cfg.Samples)
+	rng := xorshift.NewState64(xorshift.TensorSeed(cfg.Seed, 0xDA7A))
+	ss := cfg.Channels * cfg.Size * cfg.Size
+	for i := 0; i < cfg.Samples; i++ {
+		class := i % cfg.Classes
+		y[i] = class
+		dx := (rng.Float64()*2 - 1) * float64(cfg.MaxShift)
+		dy := (rng.Float64()*2 - 1) * float64(cfg.MaxShift)
+		contrast := 0.8 + 0.4*rng.Float64()
+		img := x.Data[i*ss : (i+1)*ss]
+		renderSample(img, cfg, templates[class], dx, dy, contrast, rng)
+	}
+	shufflePairs(x, y, ss, rng)
+	return &Dataset{X: x, Y: y, Classes: cfg.Classes}
+}
+
+// renderSample draws the shifted, jittered template plus per-sample
+// distractor clutter and noise into img.
+func renderSample(img []float32, cfg SynthConfig, bumps []bump, dx, dy, contrast float64, rng *xorshift.State64) {
+	plane := cfg.Size * cfg.Size
+	all := bumps
+	if cfg.Distractors > 0 {
+		all = make([]bump, 0, len(bumps)+cfg.Distractors)
+		all = append(all, bumps...)
+		for i := 0; i < cfg.Distractors; i++ {
+			d := randomBump(cfg, rng)
+			d.amp *= 0.6 // clutter is dimmer than class structure
+			all = append(all, d)
+		}
+	}
+	for _, b := range all {
+		cx := b.cx + dx
+		cy := b.cy + dy
+		if cfg.JitterSigma > 0 {
+			cx += cfg.JitterSigma * rng.NormFloat64()
+			cy += cfg.JitterSigma * rng.NormFloat64()
+		}
+		inv := 1 / (2 * b.sigma * b.sigma)
+		// Bound the bump's support to a 3σ box for speed.
+		r := int(3*b.sigma) + 1
+		x0, x1 := clampI(int(cx)-r, 0, cfg.Size-1), clampI(int(cx)+r, 0, cfg.Size-1)
+		y0, y1 := clampI(int(cy)-r, 0, cfg.Size-1), clampI(int(cy)+r, 0, cfg.Size-1)
+		base := b.channel * plane
+		for py := y0; py <= y1; py++ {
+			for px := x0; px <= x1; px++ {
+				d2 := (float64(px)-cx)*(float64(px)-cx) + (float64(py)-cy)*(float64(py)-cy)
+				img[base+py*cfg.Size+px] += float32(contrast * b.amp * math.Exp(-d2*inv))
+			}
+		}
+	}
+	// Like MNIST's black background, pixels below the ink floor are exactly
+	// zero and carry no noise; only "ink" pixels jitter. This sparsity is
+	// what concentrates gradient mass on a small weight subset — the
+	// property behind the paper's Fig 1 distribution and Fig 5 diffusion
+	// behaviour.
+	const inkFloor = 0.25
+	for j := range img {
+		if img[j] < inkFloor {
+			img[j] = 0
+			continue
+		}
+		v := img[j] + cfg.Noise*float32(rng.NormFloat64())
+		if v < inkFloor {
+			v = inkFloor
+		} else if v > 1.5 {
+			v = 1.5
+		}
+		img[j] = v
+	}
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// shufflePairs shuffles samples and labels together (Fisher–Yates).
+func shufflePairs(x *tensor.Tensor, y []int, sampleSize int, rng *xorshift.State64) {
+	tmp := make([]float32, sampleSize)
+	for i := len(y) - 1; i > 0; i-- {
+		j := int(rng.Uint32n(uint32(i + 1)))
+		if i == j {
+			continue
+		}
+		y[i], y[j] = y[j], y[i]
+		a := x.Data[i*sampleSize : (i+1)*sampleSize]
+		b := x.Data[j*sampleSize : (j+1)*sampleSize]
+		copy(tmp, a)
+		copy(a, b)
+		copy(b, tmp)
+	}
+}

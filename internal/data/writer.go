@@ -1,0 +1,120 @@
+package data
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Writers for the two on-disk formats the loaders read. They make the
+// synthetic datasets exportable to external tooling (and give the loaders
+// real round-trip tests): a generated dataset written as IDX or CIFAR
+// binary is indistinguishable from a real one to any consumer.
+
+// WriteIDXImages writes an (N, 1, H, W) tensor dataset as an IDX image
+// file, quantizing pixels from [0, 1] to bytes (values outside clamp).
+func WriteIDXImages(w io.Writer, ds *Dataset) error {
+	if len(ds.X.Shape) != 4 || ds.X.Shape[1] != 1 {
+		return fmt.Errorf("data: IDX images require (N,1,H,W) data, got %v", ds.X.Shape)
+	}
+	n, h, wd := ds.X.Shape[0], ds.X.Shape[2], ds.X.Shape[3]
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{idxMagicImages, uint32(n), uint32(h), uint32(wd)} {
+		if err := binary.Write(bw, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, px := range ds.X.Data {
+		bw.WriteByte(quantizeByte(px))
+	}
+	return bw.Flush()
+}
+
+// WriteIDXLabels writes the dataset's labels as an IDX label file.
+func WriteIDXLabels(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.BigEndian, uint32(idxMagicLabels)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint32(len(ds.Y))); err != nil {
+		return err
+	}
+	for _, y := range ds.Y {
+		if y < 0 || y > 255 {
+			return fmt.Errorf("data: label %d does not fit in a byte", y)
+		}
+		bw.WriteByte(byte(y))
+	}
+	return bw.Flush()
+}
+
+// WriteCIFAR10Binary writes an (N, 3, 32, 32) dataset in the CIFAR-10
+// binary batch format.
+func WriteCIFAR10Binary(w io.Writer, ds *Dataset) error {
+	if len(ds.X.Shape) != 4 || ds.X.Shape[1] != 3 || ds.X.Shape[2] != 32 || ds.X.Shape[3] != 32 {
+		return fmt.Errorf("data: CIFAR binary requires (N,3,32,32) data, got %v", ds.X.Shape)
+	}
+	bw := bufio.NewWriter(w)
+	plane := 3 * 32 * 32
+	for i := 0; i < ds.Len(); i++ {
+		y := ds.Y[i]
+		if y < 0 || y > 9 {
+			return fmt.Errorf("data: CIFAR label %d out of [0,9]", y)
+		}
+		bw.WriteByte(byte(y))
+		for _, px := range ds.X.Data[i*plane : (i+1)*plane] {
+			bw.WriteByte(quantizeByte(px))
+		}
+	}
+	return bw.Flush()
+}
+
+// quantizeByte maps a [0,1] float pixel to a byte, clamping outliers.
+func quantizeByte(v float32) byte {
+	x := int(v*255 + 0.5)
+	if x < 0 {
+		x = 0
+	} else if x > 255 {
+		x = 255
+	}
+	return byte(x)
+}
+
+// SaveMNIST writes the dataset as an IDX image/label file pair.
+func SaveMNIST(imagesPath, labelsPath string, ds *Dataset) error {
+	imf, err := os.Create(imagesPath)
+	if err != nil {
+		return err
+	}
+	if err := WriteIDXImages(imf, ds); err != nil {
+		imf.Close()
+		return err
+	}
+	if err := imf.Close(); err != nil {
+		return err
+	}
+	lbf, err := os.Create(labelsPath)
+	if err != nil {
+		return err
+	}
+	if err := WriteIDXLabels(lbf, ds); err != nil {
+		lbf.Close()
+		return err
+	}
+	return lbf.Close()
+}
+
+// SaveCIFAR10 writes the dataset as one CIFAR-10 binary batch file.
+func SaveCIFAR10(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCIFAR10Binary(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,138 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestIDXWriteReadRoundTrip(t *testing.T) {
+	ds := Generate(MNISTLike(30, 3))
+	var im, lb bytes.Buffer
+	if err := WriteIDXImages(&im, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteIDXLabels(&lb, ds); err != nil {
+		t.Fatal(err)
+	}
+	x, err := ReadIDXImages(&im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadIDXLabels(&lb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.SameShape(ds.X) {
+		t.Fatalf("shape %v != %v", x.Shape, ds.X.Shape)
+	}
+	for i := range y {
+		if y[i] != ds.Y[i] {
+			t.Fatal("labels changed in round trip")
+		}
+	}
+	// Pixels quantize to 1/255 precision; clamped values may move more.
+	for i := range x.Data {
+		orig := float64(ds.X.Data[i])
+		if orig > 1 {
+			orig = 1
+		}
+		if math.Abs(float64(x.Data[i])-orig) > 1.0/255+1e-6 {
+			t.Fatalf("pixel %d: %v -> %v beyond quantization error", i, ds.X.Data[i], x.Data[i])
+		}
+	}
+}
+
+func TestCIFARWriteReadRoundTrip(t *testing.T) {
+	ds := Generate(CIFARLike(10, 5))
+	var buf bytes.Buffer
+	if err := WriteCIFAR10Binary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCIFAR10Binary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("len %d != %d", back.Len(), ds.Len())
+	}
+	for i := range ds.Y {
+		if back.Y[i] != ds.Y[i] {
+			t.Fatal("labels changed")
+		}
+	}
+}
+
+func TestSaveMNISTFilesLoadable(t *testing.T) {
+	dir := t.TempDir()
+	ds := Generate(MNISTLike(20, 9))
+	imPath := filepath.Join(dir, "images-idx3-ubyte")
+	lbPath := filepath.Join(dir, "labels-idx1-ubyte")
+	if err := SaveMNIST(imPath, lbPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadMNIST(imPath, lbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 20 || loaded.Classes != 10 {
+		t.Fatalf("loaded %d samples, %d classes", loaded.Len(), loaded.Classes)
+	}
+}
+
+func TestSaveCIFAR10FileLoadable(t *testing.T) {
+	dir := t.TempDir()
+	ds := Generate(CIFARLike(20, 2))
+	path := filepath.Join(dir, "batch.bin")
+	if err := SaveCIFAR10(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCIFAR10(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 20 {
+		t.Fatalf("loaded %d samples", loaded.Len())
+	}
+}
+
+func TestWriteIDXRejectsWrongShape(t *testing.T) {
+	ds := Generate(CIFARLike(10, 1)) // 3 channels
+	if err := WriteIDXImages(&bytes.Buffer{}, ds); err == nil {
+		t.Fatal("expected error for 3-channel IDX write")
+	}
+}
+
+func TestWriteCIFARRejectsWrongShape(t *testing.T) {
+	ds := Generate(MNISTLike(10, 1)) // 28x28x1
+	if err := WriteCIFAR10Binary(&bytes.Buffer{}, ds); err == nil {
+		t.Fatal("expected error for non-CIFAR shape")
+	}
+}
+
+func TestWriteLabelsRejectsWideLabels(t *testing.T) {
+	ds := Generate(MNISTLike(10, 1))
+	ds.Y[0] = 300
+	if err := WriteIDXLabels(&bytes.Buffer{}, ds); err == nil {
+		t.Fatal("expected error for label > 255")
+	}
+	ds.Y[0] = 3
+	dsC := Generate(CIFARLike(10, 1))
+	dsC.Y[0] = 12
+	if err := WriteCIFAR10Binary(&bytes.Buffer{}, dsC); err == nil {
+		t.Fatal("expected error for CIFAR label > 9")
+	}
+}
+
+func TestQuantizeByteClamps(t *testing.T) {
+	if quantizeByte(-0.5) != 0 {
+		t.Fatal("negative must clamp to 0")
+	}
+	if quantizeByte(2.0) != 255 {
+		t.Fatal("overflow must clamp to 255")
+	}
+	if quantizeByte(0.5) != 128 {
+		t.Fatalf("0.5 -> %d, want 128", quantizeByte(0.5))
+	}
+}

@@ -1,0 +1,175 @@
+// Package energy implements the analytical energy and memory-traffic model
+// behind the paper's motivation: off-chip DRAM accesses dominate training
+// energy (640 pJ per 32-bit access vs 0.9 pJ per 32-bit float operation in
+// a 45 nm process, Han et al. 2016 — "over 700×"), so regenerating an
+// untracked weight from the xorshift PRNG (six 32-bit integer operations
+// plus one float operation ≈ 1.5 pJ) is about 427× cheaper than fetching it
+// from DRAM (§2.1).
+//
+// The package provides the constants, an access counter that training loops
+// feed, and traffic reports comparing baseline dense training against
+// DropBack at a given budget.
+package energy
+
+import "fmt"
+
+// Energy constants in picojoules for a 45 nm process (Han et al. 2016, as
+// cited in §1 and §2.1 of the paper).
+const (
+	// PJPerDRAMAccess is the energy of one 32-bit off-chip DRAM access.
+	PJPerDRAMAccess = 640.0
+	// PJPerFloatOp is the energy of one 32-bit floating-point operation.
+	PJPerFloatOp = 0.9
+	// PJPerIntOp is the energy of one 32-bit integer operation, derived
+	// from the paper's 1.5 pJ regeneration figure: (1.5 − 0.9)/6 = 0.1.
+	PJPerIntOp = 0.1
+	// RegenIntOps and RegenFloatOps are the per-regeneration op counts
+	// (xorshift step + scaled-normal postprocess) the paper models.
+	RegenIntOps   = 6
+	RegenFloatOps = 1
+)
+
+// PJPerRegeneration is the energy of regenerating one initialization value:
+// 6 integer ops + 1 float op = 1.5 pJ.
+func PJPerRegeneration() float64 {
+	return RegenIntOps*PJPerIntOp + RegenFloatOps*PJPerFloatOp
+}
+
+// RegenVsDRAMRatio is the paper's headline 427×: how many regenerations fit
+// in the energy budget of a single DRAM access.
+func RegenVsDRAMRatio() float64 {
+	return PJPerDRAMAccess / PJPerRegeneration()
+}
+
+// DRAMVsFloatRatio is the §1 motivation figure: a DRAM access costs over
+// 700× a float operation.
+func DRAMVsFloatRatio() float64 {
+	return PJPerDRAMAccess / PJPerFloatOp
+}
+
+// Counter accumulates the access and compute events of a simulated run.
+type Counter struct {
+	DRAMReads     int64
+	DRAMWrites    int64
+	Regenerations int64
+	FloatOps      int64
+	IntOps        int64
+}
+
+// Add merges another counter into c.
+func (c *Counter) Add(o Counter) {
+	c.DRAMReads += o.DRAMReads
+	c.DRAMWrites += o.DRAMWrites
+	c.Regenerations += o.Regenerations
+	c.FloatOps += o.FloatOps
+	c.IntOps += o.IntOps
+}
+
+// PicoJoules returns the total modeled energy of the counted events.
+func (c Counter) PicoJoules() float64 {
+	return float64(c.DRAMReads+c.DRAMWrites)*PJPerDRAMAccess +
+		float64(c.Regenerations)*PJPerRegeneration() +
+		float64(c.FloatOps)*PJPerFloatOp +
+		float64(c.IntOps)*PJPerIntOp
+}
+
+// MicroJoules returns the total modeled energy in microjoules.
+func (c Counter) MicroJoules() float64 { return c.PicoJoules() / 1e6 }
+
+// WeightTraffic returns the number of weight-related off-chip accesses.
+func (c Counter) WeightTraffic() int64 { return c.DRAMReads + c.DRAMWrites }
+
+// TrainingTraffic models the per-step weight memory traffic of training a
+// model with N parameters.
+//
+// Baseline dense SGD touches every weight three times per step: a read for
+// the forward pass, a read for the backward pass (weights are needed to
+// propagate input gradients), and a write of the updated value. With
+// DropBack at budget k, only tracked weights occupy memory — untracked
+// weights are regenerated at each of their 2 read sites and their writes
+// disappear entirely.
+type TrainingTraffic struct {
+	// Params is N, the total parameter count.
+	Params int
+	// Budget is k, the tracked-weight count (Params for baseline).
+	Budget int
+	// Steps is the number of optimizer steps modeled.
+	Steps int
+}
+
+// PerStep returns the modeled counter for one training step.
+func (t TrainingTraffic) PerStep() Counter {
+	n := int64(t.Params)
+	k := int64(t.Budget)
+	if k > n {
+		k = n
+	}
+	untracked := n - k
+	return Counter{
+		DRAMReads:     2 * k, // forward + backward reads of tracked weights
+		DRAMWrites:    k,     // updated tracked weights
+		Regenerations: 2 * untracked,
+	}
+}
+
+// Total returns the modeled counter for the whole run.
+func (t TrainingTraffic) Total() Counter {
+	per := t.PerStep()
+	return Counter{
+		DRAMReads:     per.DRAMReads * int64(t.Steps),
+		DRAMWrites:    per.DRAMWrites * int64(t.Steps),
+		Regenerations: per.Regenerations * int64(t.Steps),
+	}
+}
+
+// Report compares baseline dense training against DropBack at the given
+// budget over the same number of steps.
+type Report struct {
+	Baseline Counter
+	DropBack Counter
+	// TrafficReduction is baseline weight traffic / DropBack weight
+	// traffic — approximately the compression ratio N/k.
+	TrafficReduction float64
+	// EnergyReduction is the modeled energy ratio for weight movement.
+	EnergyReduction float64
+}
+
+// Compare builds the report for a model of n parameters trained for steps
+// optimizer steps with budget k.
+func Compare(n, k, steps int) Report {
+	base := TrainingTraffic{Params: n, Budget: n, Steps: steps}.Total()
+	db := TrainingTraffic{Params: n, Budget: k, Steps: steps}.Total()
+	r := Report{Baseline: base, DropBack: db}
+	if db.WeightTraffic() > 0 {
+		r.TrafficReduction = float64(base.WeightTraffic()) / float64(db.WeightTraffic())
+	}
+	if e := db.PicoJoules(); e > 0 {
+		r.EnergyReduction = base.PicoJoules() / e
+	}
+	return r
+}
+
+// String renders the report for the CLI tools.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"baseline: %d accesses (%.1f µJ)  dropback: %d accesses + %d regens (%.1f µJ)  traffic ↓%.1f×  energy ↓%.1f×",
+		r.Baseline.WeightTraffic(), r.Baseline.MicroJoules(),
+		r.DropBack.WeightTraffic(), r.DropBack.Regenerations, r.DropBack.MicroJoules(),
+		r.TrafficReduction, r.EnergyReduction,
+	)
+}
+
+// InferenceTraffic models weight reads for one inference pass: baseline
+// reads all N weights once; DropBack reads k and regenerates N−k.
+func InferenceTraffic(n, k int) Report {
+	base := Counter{DRAMReads: int64(n)}
+	db := Counter{DRAMReads: int64(k), Regenerations: int64(n - k)}
+	r := Report{Baseline: base, DropBack: db}
+	if db.WeightTraffic() > 0 {
+		r.TrafficReduction = float64(base.WeightTraffic()) / float64(db.WeightTraffic())
+	}
+	if e := db.PicoJoules(); e > 0 {
+		r.EnergyReduction = base.PicoJoules() / e
+	}
+	return r
+}

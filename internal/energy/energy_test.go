@@ -1,0 +1,126 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegenerationEnergyIs1p5pJ(t *testing.T) {
+	if got := PJPerRegeneration(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("regeneration energy = %v pJ, want 1.5 (§2.1)", got)
+	}
+}
+
+func TestRegenVsDRAMRatioIs427(t *testing.T) {
+	// §2.1: "427× less energy than a single off-chip memory access".
+	got := RegenVsDRAMRatio()
+	if got < 426 || got > 428 {
+		t.Fatalf("regen-vs-DRAM ratio = %v, want ≈427", got)
+	}
+}
+
+func TestDRAMVsFloatRatioOver700(t *testing.T) {
+	// §1: "over 700× more energy than a 32-bit floating-point operation".
+	if got := DRAMVsFloatRatio(); got < 700 {
+		t.Fatalf("DRAM-vs-float ratio = %v, want > 700", got)
+	}
+}
+
+func TestCounterEnergy(t *testing.T) {
+	c := Counter{DRAMReads: 1, DRAMWrites: 1, Regenerations: 2, FloatOps: 10, IntOps: 10}
+	want := 2*640.0 + 2*1.5 + 10*0.9 + 10*0.1
+	if got := c.PicoJoules(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+	if math.Abs(c.MicroJoules()-want/1e6) > 1e-15 {
+		t.Fatal("MicroJoules conversion wrong")
+	}
+}
+
+func TestCounterAdd(t *testing.T) {
+	a := Counter{DRAMReads: 1, DRAMWrites: 2, Regenerations: 3, FloatOps: 4, IntOps: 5}
+	b := a
+	a.Add(b)
+	if a.DRAMReads != 2 || a.DRAMWrites != 4 || a.Regenerations != 6 || a.FloatOps != 8 || a.IntOps != 10 {
+		t.Fatalf("Add result = %+v", a)
+	}
+}
+
+func TestTrainingTrafficBaseline(t *testing.T) {
+	// Dense baseline: 3N accesses per step, no regenerations.
+	per := TrainingTraffic{Params: 100, Budget: 100, Steps: 1}.PerStep()
+	if per.WeightTraffic() != 300 || per.Regenerations != 0 {
+		t.Fatalf("baseline per-step = %+v", per)
+	}
+}
+
+func TestTrainingTrafficDropBack(t *testing.T) {
+	per := TrainingTraffic{Params: 100, Budget: 20, Steps: 1}.PerStep()
+	if per.WeightTraffic() != 60 {
+		t.Fatalf("dropback traffic = %d, want 60 (3k)", per.WeightTraffic())
+	}
+	if per.Regenerations != 160 {
+		t.Fatalf("regenerations = %d, want 160 (2(N−k))", per.Regenerations)
+	}
+}
+
+func TestTrafficReductionTracksCompression(t *testing.T) {
+	// Weight-traffic reduction must equal N/k exactly under this model.
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw)%10000 + 10
+		k := int(kRaw)%n + 1
+		r := Compare(n, k, 5)
+		want := float64(n) / float64(k)
+		return math.Abs(r.TrafficReduction-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyReductionApproachesTrafficReduction(t *testing.T) {
+	// Regenerations are so cheap that energy reduction ≈ traffic
+	// reduction: for N/k = 10 the gap must be under 5%.
+	r := Compare(100000, 10000, 10)
+	if r.EnergyReduction < r.TrafficReduction*0.95 {
+		t.Fatalf("energy ↓%.2f× too far below traffic ↓%.2f×", r.EnergyReduction, r.TrafficReduction)
+	}
+	if r.EnergyReduction > r.TrafficReduction {
+		t.Fatal("energy reduction cannot exceed traffic reduction (regens are not free)")
+	}
+}
+
+func TestTotalScalesWithSteps(t *testing.T) {
+	tt := TrainingTraffic{Params: 50, Budget: 10, Steps: 7}
+	per := tt.PerStep()
+	tot := tt.Total()
+	if tot.DRAMReads != per.DRAMReads*7 || tot.Regenerations != per.Regenerations*7 {
+		t.Fatalf("Total != 7× PerStep: %+v vs %+v", tot, per)
+	}
+}
+
+func TestBudgetClamp(t *testing.T) {
+	per := TrainingTraffic{Params: 10, Budget: 100, Steps: 1}.PerStep()
+	if per.Regenerations != 0 {
+		t.Fatal("budget above N must behave as baseline")
+	}
+}
+
+func TestInferenceTraffic(t *testing.T) {
+	r := InferenceTraffic(1000, 100)
+	if r.TrafficReduction != 10 {
+		t.Fatalf("inference traffic reduction = %v, want 10", r.TrafficReduction)
+	}
+	if r.DropBack.Regenerations != 900 {
+		t.Fatalf("inference regenerations = %d, want 900", r.DropBack.Regenerations)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := Compare(1000, 100, 2).String()
+	if !strings.Contains(s, "baseline") || !strings.Contains(s, "dropback") {
+		t.Fatalf("report string missing fields: %q", s)
+	}
+}

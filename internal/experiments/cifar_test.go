@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunTable3QuickShape(t *testing.T) {
+	r := RunTable3(quickOpts())
+	// Quick mode runs the VGG-S block only: baseline + 4 DropBack rows +
+	// VD + magnitude + slimming.
+	if len(r.Rows) != 8 {
+		t.Fatalf("quick Table 3 has %d rows, want 8", len(r.Rows))
+	}
+	byCfg := map[string]Table3Row{}
+	for _, row := range r.Rows {
+		if row.Model != "VGG-S" {
+			t.Fatalf("quick mode must only run VGG-S, got %q", row.Model)
+		}
+		byCfg[row.Config] = row
+	}
+	// DropBack compression ratios must match the requested ratios.
+	wantRatios := []float64{3, 5, 20, 30}
+	found := 0
+	for _, row := range r.Rows {
+		for _, want := range wantRatios {
+			if math.Abs(row.Compression-want) < 0.05 && row.Config != "Baseline 235k" {
+				found++
+				break
+			}
+		}
+	}
+	if found < 4 {
+		t.Fatalf("only %d DropBack rows matched the paper's ratios", found)
+	}
+	// Paper shape: moderate DropBack compression (3–5×) must not be
+	// dramatically worse than baseline; extreme (20–30×) degrades.
+	base := byCfg["Baseline 235k"].ValErr
+	for _, row := range r.Rows {
+		if row.Config == "DropBack 78k" && row.ValErr > base+0.25 {
+			t.Errorf("DropBack@3x err %.2f much worse than baseline %.2f", row.ValErr, base)
+		}
+	}
+}
+
+func TestRunFig4Curves(t *testing.T) {
+	r := RunFig4(quickOpts())
+	if len(r.Baseline.Y) == 0 || len(r.DropBack.Y) == 0 {
+		t.Fatal("empty Fig 4 curves")
+	}
+	if !r.VDDiverged && len(r.Variational.Y) == 0 {
+		t.Fatal("VD curve missing despite not diverging")
+	}
+	// Curves must show learning: last >= first for baseline.
+	b := r.Baseline.Y
+	if b[len(b)-1] < b[0]-0.05 {
+		t.Errorf("baseline curve decreasing: %v -> %v", b[0], b[len(b)-1])
+	}
+}
+
+func TestRunFig5And6Shapes(t *testing.T) {
+	f5, f6 := RunFig5And6(quickOpts())
+	if len(f5.Runs) != 5 {
+		t.Fatalf("Fig 5 has %d runs, want 5", len(f5.Runs))
+	}
+	labels := map[string]bool{}
+	for _, run := range f5.Runs {
+		labels[run.Label] = true
+		if len(run.Distances) < 2 {
+			t.Fatalf("%s diffusion series too short", run.Label)
+		}
+		if run.Distances[0] != 0 {
+			t.Fatalf("%s diffusion must start at 0", run.Label)
+		}
+	}
+	for _, want := range []string{"Baseline", "DropBack 2k", "DropBack 10k", "Magnitude .75", "VD Sparse"} {
+		if !labels[want] {
+			t.Fatalf("missing run %q", want)
+		}
+	}
+
+	// Fig 5's headline shapes:
+	series := func(label string) []float64 {
+		for _, run := range f5.Runs {
+			if run.Label == label {
+				return run.Distances
+			}
+		}
+		return nil
+	}
+	baseline := series("Baseline")
+	// Magnitude pruning "begins with a large L2 distance (because many
+	// initialization weights are zeroed)": its early distance must exceed
+	// the baseline's early distance.
+	mag := series("Magnitude .75")
+	if len(mag) > 1 && len(baseline) > 1 && mag[1] <= baseline[1] {
+		t.Errorf("magnitude early distance %.2f not above baseline %.2f (zeroing displacement)", mag[1], baseline[1])
+	}
+	// DropBack's whole diffusion curve tracks the baseline more closely
+	// than magnitude pruning's does (mean pointwise gap).
+	meanGap := func(s []float64) float64 {
+		n := len(s)
+		if len(baseline) < n {
+			n = len(baseline)
+		}
+		var g float64
+		for i := 0; i < n; i++ {
+			g += math.Abs(s[i] - baseline[i])
+		}
+		return g / float64(n)
+	}
+	gapDB := meanGap(series("DropBack 10k"))
+	gapMag := meanGap(mag)
+	if gapDB >= gapMag {
+		t.Errorf("DropBack mean diffusion gap %.2f not below magnitude's %.2f", gapDB, gapMag)
+	}
+
+	// Fig 6 shapes.
+	if len(f6.Labels) != 5 || len(f6.Points) != 5 {
+		t.Fatalf("Fig 6 has %d trajectories, want 5", len(f6.Labels))
+	}
+	for i, pts := range f6.Points {
+		if len(pts) == 0 {
+			t.Fatalf("trajectory %q empty", f6.Labels[i])
+		}
+	}
+	// The paper's claim: DropBack's trajectory stays closer to the
+	// baseline path than magnitude pruning's does.
+	if f6.BaselineDropBackDist >= f6.BaselineMagDist {
+		t.Errorf("PCA: DropBack distance %.3f not below magnitude distance %.3f",
+			f6.BaselineDropBackDist, f6.BaselineMagDist)
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	r := RunAblations(quickOpts())
+	if len(r.ZeroVsRegen) != 2 || len(r.SelectionCriterion) != 2 {
+		t.Fatal("ablation groups malformed")
+	}
+	if len(r.FreezeSweep) != 6 {
+		t.Fatalf("freeze sweep has %d rows, want 6", len(r.FreezeSweep))
+	}
+	// §2.1's claim at a tight budget: regeneration beats zeroing.
+	if r.ZeroVsRegen[0].ValErr > r.ZeroVsRegen[1].ValErr+0.02 {
+		t.Errorf("regeneration err %.3f worse than zeroing %.3f — contradicts §2.1",
+			r.ZeroVsRegen[0].ValErr, r.ZeroVsRegen[1].ValErr)
+	}
+	for _, row := range append(append(r.ZeroVsRegen, r.SelectionCriterion...), r.FreezeSweep...) {
+		if row.ValErr < 0 || row.ValErr > 1 {
+			t.Errorf("%s: error out of range %v", row.Name, row.ValErr)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dropback"
+	"dropback/internal/energy"
+	"dropback/internal/optim"
+	"dropback/internal/xorshift"
+)
+
+// EnergyClaimResult verifies the §2.1 arithmetic: regeneration op counts,
+// per-regeneration energy, and the 427× and 700× ratios.
+type EnergyClaimResult struct {
+	IntOps, FloatOps int
+	RegenPJ          float64
+	DRAMPJ           float64
+	RegenVsDRAM      float64
+	DRAMVsFloat      float64
+}
+
+// RunEnergyClaim computes the claim from the model constants and the
+// xorshift implementation's own op accounting.
+func RunEnergyClaim(o Options) EnergyClaimResult {
+	iops, fops := xorshift.OpsPerRegeneration()
+	return EnergyClaimResult{
+		IntOps: iops, FloatOps: fops,
+		RegenPJ:     energy.PJPerRegeneration(),
+		DRAMPJ:      energy.PJPerDRAMAccess,
+		RegenVsDRAM: energy.RegenVsDRAMRatio(),
+		DRAMVsFloat: energy.DRAMVsFloatRatio(),
+	}
+}
+
+// PrintEnergyClaim renders the claim check.
+func PrintEnergyClaim(o Options, r EnergyClaimResult) {
+	w := o.out()
+	fmt.Fprintln(w, "== §2.1 energy claim: regeneration vs off-chip access (45 nm) ==")
+	fmt.Fprintf(w, "regeneration: %d int ops + %d float op = %.1f pJ\n", r.IntOps, r.FloatOps, r.RegenPJ)
+	fmt.Fprintf(w, "DRAM access: %.0f pJ  →  regeneration is %.0fx cheaper (paper: 427x)\n", r.DRAMPJ, r.RegenVsDRAM)
+	fmt.Fprintf(w, "DRAM vs float op: %.0fx (paper: >700x)\n", r.DRAMVsFloat)
+}
+
+// TrafficResult models the training-time weight traffic of the paper's
+// configurations and one instrumented run.
+type TrafficResult struct {
+	// Rows model the paper's headline configurations analytically.
+	Rows []TrafficRow
+	// Measured comes from an instrumented DropBack training run on
+	// MNIST-100-100: actual regeneration counts from the constraint.
+	MeasuredParams        int
+	MeasuredBudget        int
+	MeasuredSteps         int
+	MeasuredRegenerations int64
+	MeasuredReport        energy.Report
+}
+
+// TrafficRow is one analytic model row.
+type TrafficRow struct {
+	Model  string
+	Params int
+	Budget int
+	Report energy.Report
+}
+
+// RunTrafficReport builds analytic traffic reports for the paper's
+// configurations and validates the model against an instrumented run.
+func RunTrafficReport(o Options) TrafficResult {
+	const steps = 1000
+	configs := []struct {
+		model  string
+		params int
+		budget int
+	}{
+		{"LeNet-300-100 @50k", 266610, 50000},
+		{"MNIST-100-100 @20k", 89610, 20000},
+		{"VGG-S @3M", 15000000, 3000000},
+		{"WRN-28-10 @8M", 36500000, 8000000},
+	}
+	var res TrafficResult
+	for _, c := range configs {
+		res.Rows = append(res.Rows, TrafficRow{
+			Model: c.model, Params: c.params, Budget: c.budget,
+			Report: energy.Compare(c.params, c.budget, steps),
+		})
+	}
+	// Instrumented run: count actual regenerations.
+	train, val := mnistData(o)
+	m := dropback.MNIST100100(o.Seed)
+	epochs := 2
+	r := dropback.Train(m, train, val, dropback.TrainConfig{
+		Method: dropback.MethodDropBack, Budget: 10000, FreezeAfterEpoch: -1,
+		Epochs: epochs, BatchSize: o.batchSize(),
+		Schedule: optim.Constant(0.1), Seed: o.Seed,
+	})
+	actualSteps := epochs * (train.Len() / o.batchSize())
+	res.MeasuredParams = m.Set.Total()
+	res.MeasuredBudget = 10000
+	res.MeasuredSteps = actualSteps
+	res.MeasuredRegenerations = r.Regenerations
+	res.MeasuredReport = energy.Compare(m.Set.Total(), 10000, actualSteps)
+	return res
+}
+
+// PrintTrafficReport renders the analytic rows and the instrumented check.
+func PrintTrafficReport(o Options, r TrafficResult) {
+	w := o.out()
+	fmt.Fprintln(w, "== Training-time weight-memory traffic: baseline vs DropBack ==")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Model,
+			fmt.Sprintf("%d", row.Params),
+			fmt.Sprintf("%d", row.Budget),
+			fmtX(row.Report.TrafficReduction),
+			fmtX(row.Report.EnergyReduction),
+		})
+	}
+	writeTable(w, []string{"Config", "Params", "Budget", "Traffic Reduction", "Energy Reduction"}, rows)
+	fmt.Fprintf(w, "instrumented run: MNIST-100-100 @10k for %d steps → %d regenerations (expected %d per the model)\n",
+		r.MeasuredSteps, r.MeasuredRegenerations,
+		int64(r.MeasuredSteps)*int64(r.MeasuredParams-r.MeasuredBudget))
+	fmt.Fprintf(w, "modeled: %s\n", r.MeasuredReport)
+}

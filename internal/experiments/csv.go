@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// dumpSeriesCSV writes each series of a figure to
+// <CSVDir>/<figID>_<label>.csv with an "x,y" header, so users can re-plot
+// the reproduced figures with their own tooling. A no-op when CSVDir is
+// empty; errors are reported to Out but never abort an experiment.
+func dumpSeriesCSV(o Options, figID string, series []Series) {
+	if o.CSVDir == "" {
+		return
+	}
+	if err := os.MkdirAll(o.CSVDir, 0o755); err != nil {
+		fmt.Fprintf(o.out(), "csv: %v\n", err)
+		return
+	}
+	for _, s := range series {
+		name := figID + "_" + slugify(s.Label) + ".csv"
+		path := filepath.Join(o.CSVDir, name)
+		var b strings.Builder
+		b.WriteString("x,y\n")
+		for i := range s.X {
+			fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			fmt.Fprintf(o.out(), "csv: %v\n", err)
+			return
+		}
+		fmt.Fprintf(o.out(), "csv: wrote %s (%d points)\n", path, len(s.X))
+	}
+}
+
+// slugify converts a series label to a safe file-name fragment.
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '.' || r == '/' || r == '-':
+			b.WriteByte('_')
+		}
+	}
+	out := strings.Trim(b.String(), "_")
+	if out == "" {
+		out = "series"
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Seed: 7, Quick: true}
+}
+
+func TestRunFig1ShapeMatchesPaper(t *testing.T) {
+	r := RunFig1(quickOpts())
+	if r.Summary.N != 89610 {
+		t.Fatalf("accumulated gradients over %d weights, want 89610", r.Summary.N)
+	}
+	// The paper's core observation: most accumulated gradients are near 0.
+	if r.Summary.FracNearZero < 0.5 {
+		t.Fatalf("near-zero mass = %.2f, want > 0.5 (Fig 1's concentration)", r.Summary.FracNearZero)
+	}
+	if len(r.Grid) != len(r.Density) || len(r.Grid) == 0 {
+		t.Fatal("density grid malformed")
+	}
+	// Density should peak near zero: the max must be within the central
+	// fifth of the support.
+	maxI := 0
+	for i, d := range r.Density {
+		if d > r.Density[maxI] {
+			maxI = i
+		}
+	}
+	lo, hi := r.Grid[0], r.Grid[len(r.Grid)-1]
+	peak := r.Grid[maxI]
+	if peak < lo+0.2*(hi-lo) && peak > hi-0.2*(hi-lo) {
+		t.Fatalf("density peak at %v not near 0 (support %v..%v)", peak, lo, hi)
+	}
+}
+
+func TestRunFig2ChurnStabilizes(t *testing.T) {
+	r := RunFig2(quickOpts())
+	if len(r.First10) != 10 {
+		t.Fatalf("first-10 panel has %d entries", len(r.First10))
+	}
+	var earlyMean float64
+	for _, s := range r.First10[1:] { // step 1 has no previous set
+		earlyMean += float64(s)
+	}
+	earlyMean /= 9
+	// Paper shape: early churn (hundreds–thousands) dwarfs steady-state
+	// churn.
+	if earlyMean <= r.RestMean {
+		t.Fatalf("early churn %.1f not above steady-state %.1f", earlyMean, r.RestMean)
+	}
+	if r.RestMeanFrac > 0.25 {
+		t.Fatalf("steady-state churn %.2f of k too high", r.RestMeanFrac)
+	}
+}
+
+func TestRunTable1Shapes(t *testing.T) {
+	r := RunTable1(quickOpts())
+	if len(r.Rows) != 8 {
+		t.Fatalf("Table 1 has %d rows, want 8", len(r.Rows))
+	}
+	// Compression ratios must match the paper's (budgets are the paper's,
+	// models are full-size).
+	checks := map[string]float64{
+		"LeNet-300-100/DropBack 50k":  5.33,
+		"LeNet-300-100/DropBack 20k":  13.33,
+		"LeNet-300-100/DropBack 1.5k": 177.74,
+		"MNIST-100-100/DropBack 50k":  1.79,
+		"MNIST-100-100/DropBack 20k":  4.48,
+		"MNIST-100-100/DropBack 1.5k": 59.74,
+	}
+	for _, row := range r.Rows {
+		key := row.Model + "/" + row.Config
+		if want, ok := checks[key]; ok {
+			if row.Compression < want*0.98 || row.Compression > want*1.02 {
+				t.Errorf("%s compression = %.2f, want ≈%.2f", key, row.Compression, want)
+			}
+		}
+		if row.ValErr < 0 || row.ValErr > 1 {
+			t.Errorf("%s error out of range: %v", key, row.ValErr)
+		}
+	}
+}
+
+func TestRunTable2LaterLayersKeepMore(t *testing.T) {
+	r := RunTable2(quickOpts())
+	if len(r.Rows) != 3 {
+		t.Fatalf("Table 2 has %d layers, want 3", len(r.Rows))
+	}
+	if r.Total10k != 10000 || r.Total1500 != 1500 {
+		t.Fatalf("retention totals %d/%d, want 10000/1500", r.Total10k, r.Total1500)
+	}
+	// Paper's observation: the small config allocates proportionally more
+	// of its budget to later layers. Compare fc3's share of the budget.
+	share10 := float64(r.Rows[2].Ret10k) / 10000
+	share15 := float64(r.Rows[2].Ret1500) / 1500
+	if share15 <= share10 {
+		t.Errorf("fc3 share: 1.5k budget %.3f vs 10k budget %.3f — want tighter budget to favor later layers", share15, share10)
+	}
+}
+
+func TestRunFig3CurvesTrack(t *testing.T) {
+	r := RunFig3(quickOpts())
+	if len(r.Baseline.Y) == 0 || len(r.DropBack.Y) == 0 {
+		t.Fatal("empty convergence curves")
+	}
+	// Paper: final accuracies within 1%. Quick mode runs 3 epochs with an
+	// epoch-1 freeze, so only the coarse shape is asserted here; the
+	// full-scale gap is recorded in EXPERIMENTS.md.
+	if r.FinalGap > 0.3 {
+		t.Errorf("final accuracy gap %.3f too large even for quick scale", r.FinalGap)
+	}
+	// Both methods must actually learn (well above 10% chance).
+	if last := r.DropBack.Y[len(r.DropBack.Y)-1]; last < 0.3 {
+		t.Errorf("DropBack final accuracy %.3f too low", last)
+	}
+}
+
+func TestRunEnergyClaim(t *testing.T) {
+	r := RunEnergyClaim(quickOpts())
+	if r.IntOps != 6 || r.FloatOps != 1 {
+		t.Fatalf("op counts (%d,%d), want (6,1)", r.IntOps, r.FloatOps)
+	}
+	if r.RegenVsDRAM < 426 || r.RegenVsDRAM > 428 {
+		t.Fatalf("427x claim: got %.1f", r.RegenVsDRAM)
+	}
+	if r.DRAMVsFloat < 700 {
+		t.Fatalf("700x claim: got %.1f", r.DRAMVsFloat)
+	}
+}
+
+func TestRunTrafficReport(t *testing.T) {
+	r := RunTrafficReport(quickOpts())
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d traffic rows, want 4", len(r.Rows))
+	}
+	// The instrumented regeneration count must match the analytic model
+	// exactly: steps × (N − k).
+	want := int64(r.MeasuredSteps) * int64(r.MeasuredParams-r.MeasuredBudget)
+	if r.MeasuredRegenerations != want {
+		t.Fatalf("measured regenerations %d, model predicts %d", r.MeasuredRegenerations, want)
+	}
+	for _, row := range r.Rows {
+		wantRatio := float64(row.Params) / float64(row.Budget)
+		if row.Report.TrafficReduction < wantRatio*0.99 || row.Report.TrafficReduction > wantRatio*1.01 {
+			t.Errorf("%s: traffic reduction %.2f, want %.2f", row.Model, row.Report.TrafficReduction, wantRatio)
+		}
+	}
+}
+
+func TestRegistryRunByID(t *testing.T) {
+	var buf bytes.Buffer
+	o := Options{Seed: 3, Quick: true, Out: &buf}
+	if err := RunByID("energy", o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "427") {
+		t.Fatalf("energy output missing claim: %q", buf.String())
+	}
+	if err := RunByID("nope", o); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestRegistryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Description == "" || e.Paper == "" {
+			t.Fatalf("experiment %q incompletely registered", e.ID)
+		}
+	}
+	if len(seen) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(seen))
+	}
+}
+
+func TestAsciiChartRenders(t *testing.T) {
+	var buf bytes.Buffer
+	asciiChart(&buf, "test", []Series{
+		{Label: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}},
+		{Label: "b", X: []float64{1, 2, 3}, Y: []float64{9, 4, 1}},
+	}, 8, 40, false)
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestAsciiChartLogAxisAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	asciiChart(&buf, "log", []Series{{Label: "s", X: []float64{1, 10, 100}, Y: []float64{0, 1, 2}}}, 5, 30, true)
+	if !strings.Contains(buf.String(), "log10") {
+		t.Fatal("log axis annotation missing")
+	}
+	buf.Reset()
+	asciiChart(&buf, "empty", nil, 5, 30, false)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty-chart handling missing")
+	}
+}
+
+func TestWriteTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	writeTable(&buf, []string{"A", "BB"}, [][]string{{"xxx", "y"}})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want 3", len(lines))
+	}
+}
+
+func TestDumpSeriesCSV(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{CSVDir: dir}
+	dumpSeriesCSV(o, "figx", []Series{
+		{Label: "A b/C.d", X: []float64{1, 2}, Y: []float64{3, 4}},
+	})
+	data, err := os.ReadFile(filepath.Join(dir, "figx_a_b_c_d.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,3\n2,4\n"
+	if string(data) != want {
+		t.Fatalf("csv = %q, want %q", data, want)
+	}
+	// Empty CSVDir is a no-op.
+	dumpSeriesCSV(Options{}, "figy", []Series{{Label: "s"}})
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Baseline":        "baseline",
+		"DropBack 10k":    "dropback_10k",
+		"Mag Pruning .75": "mag_pruning__75",
+		"***":             "series",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

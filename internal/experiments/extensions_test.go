@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunScaleLargerNetsFitBudget(t *testing.T) {
+	r := RunScale(quickOpts())
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Stored > r.BudgetWeights {
+			t.Fatalf("%s stores %d weights, budget is %d", row.Name, row.Stored, r.BudgetWeights)
+		}
+		if row.ValErr < 0 || row.ValErr > 1 {
+			t.Fatalf("%s error out of range", row.Name)
+		}
+	}
+	// The larger models must genuinely be larger.
+	if r.Rows[1].TotalParams <= r.Rows[0].TotalParams || r.Rows[2].TotalParams <= r.Rows[1].TotalParams {
+		t.Fatal("rows not ordered by model size")
+	}
+	// Conclusion's claim (checked loosely at quick scale): the largest
+	// DropBack model should not be dramatically worse than the dense
+	// reference at the same storage.
+	if r.Rows[2].ValErr > r.Rows[0].ValErr+0.2 {
+		t.Errorf("DropBack-large err %.3f far above dense-small %.3f", r.Rows[2].ValErr, r.Rows[0].ValErr)
+	}
+}
+
+func TestRunMemoryFootprints(t *testing.T) {
+	r := RunMemory(quickOpts())
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(r.Rows))
+	}
+	byName := map[string]MemoryRow{}
+	for _, row := range r.Rows {
+		byName[row.Optimizer] = row
+	}
+	denseW := 4 * r.Params
+	if byName["SGD (paper)"].StateBytes != 0 {
+		t.Fatal("plain SGD must have zero state")
+	}
+	if byName["SGD+momentum"].StateBytes != denseW {
+		t.Fatalf("momentum state %d, want %d", byName["SGD+momentum"].StateBytes, denseW)
+	}
+	if byName["Adam"].StateBytes != 2*denseW {
+		t.Fatalf("adam state %d, want %d", byName["Adam"].StateBytes, 2*denseW)
+	}
+	db := byName["SGD + DropBack @10k"]
+	if db.TotalBytes >= byName["SGD (paper)"].TotalBytes {
+		t.Fatal("DropBack must reduce total training memory below dense SGD")
+	}
+}
+
+func TestRunArtifactPipeline(t *testing.T) {
+	r := RunArtifact(quickOpts())
+	if r.StoredWeights > r.Budget {
+		t.Fatalf("stored %d > budget %d", r.StoredWeights, r.Budget)
+	}
+	if !(r.QuantBytes < r.SparseBytes && r.SparseBytes < r.DenseBytes) {
+		t.Fatalf("sizes not strictly decreasing: dense %d, sparse %d, quant %d",
+			r.DenseBytes, r.SparseBytes, r.QuantBytes)
+	}
+	// Sparse round trip is exact.
+	if r.AccSparse != r.AccTrained {
+		t.Fatalf("sparse accuracy %.4f != trained %.4f (must be bit-exact)", r.AccSparse, r.AccTrained)
+	}
+	// 8-bit quantization costs at most a little accuracy.
+	if math.Abs(r.AccQuant-r.AccTrained) > 0.05 {
+		t.Fatalf("quantized accuracy %.4f deviates from trained %.4f", r.AccQuant, r.AccTrained)
+	}
+}
+
+func TestRegistryIncludesExtensions(t *testing.T) {
+	want := map[string]bool{"scale": false, "memory": false, "artifact": false}
+	for _, e := range All() {
+		if _, ok := want[e.ID]; ok {
+			want[e.ID] = true
+		}
+	}
+	for id, found := range want {
+		if !found {
+			t.Fatalf("extension %q not registered", id)
+		}
+	}
+}
+
+func TestRunHWSimShapes(t *testing.T) {
+	r := RunHWSim(quickOpts())
+	if len(r.Rows) != 6 {
+		t.Fatalf("%d rows, want 6 (3 configs x 2 policies)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		base := row.Result.Baseline
+		db := row.Result.DropBack
+		if db.HitRate() <= base.HitRate() {
+			t.Fatalf("%s/%v: DropBack hit rate %.2f not above baseline %.2f",
+				row.Model, row.Policy, db.HitRate(), base.HitRate())
+		}
+		if row.Result.EnergyReduction < 2 {
+			t.Fatalf("%s/%v: energy reduction %.2f too small", row.Model, row.Policy, row.Result.EnergyReduction)
+		}
+	}
+}
+
+func TestRunTradeoffMonotoneish(t *testing.T) {
+	r := RunTradeoff(quickOpts())
+	if len(r.Points) != 3 {
+		t.Fatalf("%d points, want 3 in quick mode", len(r.Points))
+	}
+	// Compression must increase along the grid and error must not improve
+	// dramatically as the budget shrinks (tolerate small non-monotonicity).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Compression <= r.Points[i-1].Compression {
+			t.Fatal("sweep must run from large to small budgets")
+		}
+	}
+	last := r.Points[len(r.Points)-1]
+	first := r.Points[0]
+	if last.ValErr+0.02 < first.ValErr {
+		t.Errorf("tightest budget err %.3f should not beat largest budget %.3f by much", last.ValErr, first.ValErr)
+	}
+	if _, ok := r.Knee(1.0); !ok {
+		t.Fatal("a 100 pp tolerance must always find a knee")
+	}
+}

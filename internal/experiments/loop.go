@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"math"
+
+	"dropback"
+	"dropback/internal/data"
+	"dropback/internal/optim"
+)
+
+// runBaselineLoop is a minimal unconstrained SGD loop with a per-step
+// observer hook, mirroring the baseline path of dropback.Train. Fig 2 needs
+// it because the paper's telemetry watches the top-k set of a run that is
+// NOT constrained — the public Trainer deliberately has no step hook.
+func runBaselineLoop(m *dropback.Model, train *dropback.Dataset, cfg dropback.TrainConfig, obs func()) {
+	if cfg.Schedule == nil {
+		cfg.Schedule = optim.PaperMNIST()
+	}
+	batcher := data.NewBatcher(train, cfg.BatchSize, cfg.Seed^0xBA7C4)
+	sgd := optim.NewSGD(0)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sgd.LR = cfg.Schedule.At(epoch)
+		for b := 0; b < batcher.BatchesPerEpoch(); b++ {
+			x, y := batcher.Next()
+			loss, _ := m.Step(x, y)
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				return
+			}
+			sgd.Step(m.Set)
+			if obs != nil {
+				obs()
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§3–§4) plus the §2.1 energy claims and ablations. Each
+// experiment has a Run function returning a typed result and a Print
+// rendering the same rows/series the paper reports (figures render as
+// ASCII series/charts).
+//
+// Scale: experiments run on the synthetic datasets with the paper's exact
+// MLP models (MNIST) and width/depth-reduced convolutional models (CIFAR);
+// DropBack budgets are chosen to match the paper's compression ratios, the
+// controlled variable. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"io"
+	"time"
+)
+
+// Options controls experiment scale and output.
+type Options struct {
+	// Seed drives datasets, models and batching. Same seed → identical
+	// results.
+	Seed uint64
+	// Quick shrinks datasets and epoch counts to benchmark scale (a few
+	// seconds per experiment); the default sizes aim at a few minutes for
+	// the full suite.
+	Quick bool
+	// Out receives the printed tables/figures; nil discards.
+	Out io.Writer
+	// Verbose echoes per-epoch training progress.
+	Verbose bool
+	// CSVDir, when non-empty, receives one CSV file per figure series so
+	// the reproduced figures can be re-plotted with external tooling.
+	CSVDir string
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// mnistSamples returns the synthetic-MNIST dataset size.
+func (o Options) mnistSamples() int {
+	if o.Quick {
+		return 500
+	}
+	return 2000
+}
+
+// mnistEpochs returns the MNIST experiment epoch budget (the paper trains
+// up to 100; the synthetic task converges far faster).
+func (o Options) mnistEpochs() int {
+	if o.Quick {
+		return 3
+	}
+	return 12
+}
+
+// cifarSamples returns the synthetic-CIFAR dataset size. The full size is
+// chosen so the reduced models generalize imperfectly (baseline error in
+// the single digits): with too much data every method reaches 0% error and
+// the table's orderings vanish.
+func (o Options) cifarSamples() int {
+	if o.Quick {
+		return 300
+	}
+	return 600
+}
+
+// cifarSize returns the reduced CIFAR-like image side.
+func (o Options) cifarSize() int { return 12 }
+
+// cifarEpochs returns the CIFAR experiment epoch budget.
+func (o Options) cifarEpochs() int {
+	if o.Quick {
+		return 3
+	}
+	return 10
+}
+
+// batchSize returns the mini-batch size used everywhere.
+func (o Options) batchSize() int { return 32 }
+
+// timer helps experiments report wall time.
+type timer struct{ start time.Time }
+
+func startTimer() timer                { return timer{start: time.Now()} }
+func (t timer) elapsed() time.Duration { return time.Since(t.start) }

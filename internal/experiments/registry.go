@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment couples an identifier with a run-and-print function.
+type Experiment struct {
+	// ID is the CLI name (e.g. "table1", "fig5").
+	ID string
+	// Paper locates the artifact in the paper.
+	Paper string
+	// Description summarizes what is reproduced.
+	Description string
+	// Run executes the experiment and prints to o.Out.
+	Run func(o Options)
+}
+
+// All returns the registry of experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID: "fig1", Paper: "Figure 1",
+			Description: "accumulated-gradient distribution under baseline SGD (KDE)",
+			Run:         func(o Options) { PrintFig1(o, RunFig1(o)) },
+		},
+		{
+			ID: "fig2", Paper: "Figure 2",
+			Description: "churn of the top-2k accumulated-gradient set over training",
+			Run:         func(o Options) { PrintFig2(o, RunFig2(o)) },
+		},
+		{
+			ID: "table1", Paper: "Table 1",
+			Description: "MNIST error/compression for LeNet-300-100 and MNIST-100-100",
+			Run:         func(o Options) { PrintTable1(o, RunTable1(o)) },
+		},
+		{
+			ID: "table2", Paper: "Table 2",
+			Description: "per-layer retained weights (MNIST-100-100)",
+			Run:         func(o Options) { PrintTable2(o, RunTable2(o)) },
+		},
+		{
+			ID: "fig3", Paper: "Figure 3",
+			Description: "LeNet-300-100 convergence: DropBack vs baseline",
+			Run:         func(o Options) { PrintFig3(o, RunFig3(o)) },
+		},
+		{
+			ID: "table3", Paper: "Table 3",
+			Description: "CIFAR-10 error/compression across five methods and three architectures",
+			Run:         func(o Options) { PrintTable3(o, RunTable3(o)) },
+		},
+		{
+			ID: "fig4", Paper: "Figure 4",
+			Description: "VGG-S convergence: DropBack vs variational dropout vs baseline",
+			Run:         func(o Options) { PrintFig4(o, RunFig4(o)) },
+		},
+		{
+			ID: "fig5", Paper: "Figure 5",
+			Description: "L2 diffusion distance vs training time across methods",
+			Run: func(o Options) {
+				f5, _ := RunFig5And6(o)
+				PrintFig5(o, f5)
+			},
+		},
+		{
+			ID: "fig6", Paper: "Figure 6",
+			Description: "PCA projection of weight-trajectory evolution",
+			Run: func(o Options) {
+				_, f6 := RunFig5And6(o)
+				PrintFig6(o, f6)
+			},
+		},
+		{
+			ID: "energy", Paper: "§2.1",
+			Description: "regeneration-vs-DRAM energy claim (427x)",
+			Run:         func(o Options) { PrintEnergyClaim(o, RunEnergyClaim(o)) },
+		},
+		{
+			ID: "traffic", Paper: "§1/§5",
+			Description: "training-time weight-memory traffic reduction",
+			Run:         func(o Options) { PrintTrafficReport(o, RunTrafficReport(o)) },
+		},
+		{
+			ID: "ablations", Paper: "§2.1",
+			Description: "zero-vs-regenerate, selection criterion, freeze-epoch sweep",
+			Run:         func(o Options) { PrintAblations(o, RunAblations(o)) },
+		},
+		{
+			ID: "scale", Paper: "§6",
+			Description: "larger networks trained under a fixed weight-memory budget",
+			Run:         func(o Options) { PrintScale(o, RunScale(o)) },
+		},
+		{
+			ID: "memory", Paper: "§3",
+			Description: "optimizer-state memory: why the paper uses momentum-free SGD",
+			Run:         func(o Options) { PrintMemory(o, RunMemory(o)) },
+		},
+		{
+			ID: "artifact", Paper: "§5",
+			Description: "sparse deployment artifact + 8-bit quantization (orthogonality)",
+			Run:         func(o Options) { PrintArtifact(o, RunArtifact(o)) },
+		},
+		{
+			ID: "tradeoff", Paper: "Tables 1/3",
+			Description: "error-vs-compression sweep over a log budget grid (the tables' underlying curve)",
+			Run:         func(o Options) { PrintTradeoff(o, RunTradeoff(o)) },
+		},
+		{
+			ID: "hwsim", Paper: "§1",
+			Description: "accelerator SRAM/DRAM simulation: dense training thrashes, DropBack fits on-chip",
+			Run:         func(o Options) { PrintHWSim(o, RunHWSim(o)) },
+		},
+	}
+}
+
+// RunByID runs one experiment; "all" runs the full suite in order.
+func RunByID(id string, o Options) error {
+	if id == "all" {
+		for _, e := range All() {
+			t := startTimer()
+			e.Run(o)
+			fmt.Fprintf(o.out(), "[%s finished in %v]\n\n", e.ID, t.elapsed())
+		}
+		return nil
+	}
+	for _, e := range All() {
+		if e.ID == id {
+			e.Run(o)
+			return nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return fmt.Errorf("experiments: unknown id %q (known: %v, plus \"all\")", id, ids)
+}

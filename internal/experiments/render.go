@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// writeTable renders rows as a fixed-width text table with a header rule.
+func writeTable(w io.Writer, header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(header)
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// asciiChart renders labeled series into a rows×cols character grid with
+// shared axes, one glyph per series — enough to see the shapes the paper's
+// figures show (convergence order, diffusion separation).
+func asciiChart(w io.Writer, title string, series []Series, rows, cols int, logX bool) {
+	fmt.Fprintln(w, title)
+	if len(series) == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%'}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if logX {
+			if x < 1 {
+				x = 1
+			}
+			return math.Log10(x)
+		}
+		return x
+	}
+	for _, s := range series {
+		for i := range s.X {
+			x := tx(s.X[i])
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if s.Y[i] < minY {
+				minY = s.Y[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			c := int((tx(s.X[i]) - minX) / (maxX - minX) * float64(cols-1))
+			r := rows - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(rows-1))
+			if c >= 0 && c < cols && r >= 0 && r < rows {
+				grid[r][c] = g
+			}
+		}
+	}
+	fmt.Fprintf(w, "y: %.4g .. %.4g\n", minY, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "|%s|\n", string(row))
+	}
+	if logX {
+		fmt.Fprintf(w, "x (log10): %.3g .. %.3g\n", minX, maxX)
+	} else {
+		fmt.Fprintf(w, "x: %.4g .. %.4g\n", minX, maxX)
+	}
+	for si, s := range series {
+		fmt.Fprintf(w, "  %c = %s\n", glyphs[si%len(glyphs)], s.Label)
+	}
+}
+
+// fmtPct renders an error/accuracy fraction as a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// fmtX renders a compression factor.
+func fmtX(v float64) string { return fmt.Sprintf("%.2fx", v) }

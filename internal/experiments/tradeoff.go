@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dropback"
+)
+
+// The trade-off sweep is the curve underlying Tables 1 and 3: validation
+// error as a function of the tracked-weight budget, swept over a log grid.
+// The paper reports a handful of points per model; the sweep shows the
+// whole knee, which is what a user sizing an accelerator's weight memory
+// actually needs.
+
+// TradeoffPoint is one budget's outcome.
+type TradeoffPoint struct {
+	Budget      int
+	Compression float64
+	ValErr      float64
+	BestEpoch   int
+}
+
+// TradeoffResult is the swept curve plus the unconstrained reference.
+type TradeoffResult struct {
+	Model       string
+	TotalParams int
+	BaselineErr float64
+	Points      []TradeoffPoint
+}
+
+// RunTradeoff sweeps DropBack budgets over a logarithmic grid on
+// MNIST-100-100 and reports the error/compression curve.
+func RunTradeoff(o Options) TradeoffResult {
+	train, val := mnistData(o)
+	epochs := o.mnistEpochs()
+	grid := []int{50000, 20000, 10000, 5000, 2500, 1500, 750}
+	if o.Quick {
+		grid = []int{20000, 5000, 1500}
+	}
+	base := dropback.TrainConfig{
+		Epochs: epochs, BatchSize: o.batchSize(), Schedule: mnistSchedule(epochs),
+		Seed: o.Seed, Patience: 0, Progress: progress(o),
+	}
+	m := dropback.MNIST100100(o.Seed)
+	res := TradeoffResult{Model: "MNIST-100-100", TotalParams: m.Set.Total()}
+
+	cfg := base
+	cfg.Method = dropback.MethodBaseline
+	res.BaselineErr = dropback.Train(m, train, val, cfg).BestValErr
+
+	for _, budget := range grid {
+		cfg := base
+		cfg.Method = dropback.MethodDropBack
+		cfg.Budget = budget
+		cfg.FreezeAfterEpoch = epochs / 3
+		r := dropback.Train(dropback.MNIST100100(o.Seed), train, val, cfg)
+		res.Points = append(res.Points, TradeoffPoint{
+			Budget: budget, Compression: r.Compression,
+			ValErr: r.BestValErr, BestEpoch: r.BestEpoch,
+		})
+	}
+	return res
+}
+
+// Knee returns the highest compression whose error stays within tol of the
+// baseline — the operating point the paper's "5× with no accuracy loss"
+// claims describe.
+func (r TradeoffResult) Knee(tol float64) (TradeoffPoint, bool) {
+	var best TradeoffPoint
+	found := false
+	for _, p := range r.Points {
+		if p.ValErr <= r.BaselineErr+tol && (!found || p.Compression > best.Compression) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// PrintTradeoff renders the curve and the knee.
+func PrintTradeoff(o Options, r TradeoffResult) {
+	w := o.out()
+	fmt.Fprintf(w, "== Trade-off sweep: error vs compression, %s (%d params) ==\n", r.Model, r.TotalParams)
+	fmt.Fprintf(w, "baseline error: %s\n", fmtPct(r.BaselineErr))
+	rows := make([][]string, 0, len(r.Points))
+	var series Series
+	series.Label = "val error"
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Budget), fmtX(p.Compression), fmtPct(p.ValErr),
+			fmt.Sprintf("%d", p.BestEpoch),
+		})
+		series.X = append(series.X, math.Log10(p.Compression))
+		series.Y = append(series.Y, p.ValErr)
+	}
+	writeTable(w, []string{"Budget", "Compression", "Val Error", "Best Epoch"}, rows)
+	asciiChart(w, "error vs log10(compression)", []Series{series}, 10, 60, false)
+	dumpSeriesCSV(o, "tradeoff", []Series{series})
+	if knee, ok := r.Knee(0.01); ok {
+		fmt.Fprintf(w, "knee (within 1 pp of baseline): %s compression at budget %d\n",
+			fmtX(knee.Compression), knee.Budget)
+	} else {
+		fmt.Fprintln(w, "no swept budget stays within 1 pp of baseline")
+	}
+}

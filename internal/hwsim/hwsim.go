@@ -1,0 +1,261 @@
+// Package hwsim is a trace-driven simulator of the weight-memory hierarchy
+// of an embedded training accelerator — the deployment target the paper
+// motivates (§1: mobile devices have "an order of magnitude less capacity
+// and two orders of magnitude less bandwidth than a datacentre-class GPU").
+//
+// The model has two levels: an on-chip SRAM weight buffer of fixed capacity
+// (direct-mapped or fully associative LRU) backed by off-chip DRAM, plus a
+// regeneration unit that recomputes initialization values instead of
+// fetching them. Feeding it the weight-access trace of a training run shows
+// the mechanism behind the paper's energy claims: a dense baseline whose
+// working set exceeds SRAM thrashes to DRAM on most accesses, while a
+// DropBack run's tracked set fits on-chip and untracked accesses become
+// cheap regenerations.
+package hwsim
+
+import (
+	"fmt"
+
+	"dropback/internal/energy"
+)
+
+// AccessKind labels one weight access in a trace.
+type AccessKind uint8
+
+const (
+	// Read is a weight load (forward or backward pass).
+	Read AccessKind = iota
+	// Write is a weight store (optimizer update).
+	Write
+	// Regen is an on-the-fly regeneration: it never touches the memory
+	// hierarchy and costs only the xorshift arithmetic.
+	Regen
+)
+
+// Access is one trace event: a kind and the weight's flat index.
+type Access struct {
+	Kind  AccessKind
+	Index uint32
+}
+
+// Policy selects the SRAM organization.
+type Policy uint8
+
+const (
+	// DirectMapped indexes SRAM by (index mod capacity) — the cheap
+	// hardware organization.
+	DirectMapped Policy = iota
+	// LRU is a fully associative buffer with least-recently-used
+	// replacement — an upper bound on what associativity can buy.
+	LRU
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case DirectMapped:
+		return "direct-mapped"
+	case LRU:
+		return "lru"
+	default:
+		return "unknown"
+	}
+}
+
+// Config describes the simulated hierarchy.
+type Config struct {
+	// SRAMWords is the on-chip weight-buffer capacity in 32-bit words.
+	SRAMWords int
+	// Policy selects the SRAM organization.
+	Policy Policy
+	// PJPerSRAMAccess is the on-chip access energy. Han et al. 2016 put a
+	// large SRAM access around 5 pJ at 45 nm; the default is used when 0.
+	PJPerSRAMAccess float64
+	// WriteBack: dirty lines are written to DRAM on eviction (weights are
+	// mutated by training, so this defaults to true in NewSimulator).
+	WriteBack bool
+}
+
+// Stats accumulates the simulation outcome.
+type Stats struct {
+	Accesses      int64
+	SRAMHits      int64
+	SRAMMisses    int64
+	DRAMReads     int64 // miss fills
+	DRAMWrites    int64 // dirty evictions + write-through of misses
+	Regenerations int64
+	EnergyPJ      float64
+}
+
+// HitRate returns the SRAM hit fraction over reads+writes.
+func (s Stats) HitRate() float64 {
+	t := s.SRAMHits + s.SRAMMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.SRAMHits) / float64(t)
+}
+
+// Simulator executes traces against the configured hierarchy.
+type Simulator struct {
+	cfg   Config
+	stats Stats
+
+	// direct-mapped state
+	tags  []int32 // resident weight index per slot, -1 = empty
+	dirty []bool
+
+	// LRU state: doubly linked list over map
+	lruIndex map[uint32]*lruNode
+	head     *lruNode // most recent
+	tail     *lruNode // least recent
+	lruLen   int
+}
+
+type lruNode struct {
+	index      uint32
+	dirty      bool
+	prev, next *lruNode
+}
+
+// NewSimulator builds a simulator. SRAMWords must be positive.
+func NewSimulator(cfg Config) *Simulator {
+	if cfg.SRAMWords <= 0 {
+		panic(fmt.Sprintf("hwsim: SRAM capacity must be positive, got %d", cfg.SRAMWords))
+	}
+	if cfg.PJPerSRAMAccess == 0 {
+		cfg.PJPerSRAMAccess = 5 // pJ, 45 nm large SRAM (Han et al. 2016)
+	}
+	cfg.WriteBack = true
+	s := &Simulator{cfg: cfg}
+	if cfg.Policy == DirectMapped {
+		s.tags = make([]int32, cfg.SRAMWords)
+		for i := range s.tags {
+			s.tags[i] = -1
+		}
+		s.dirty = make([]bool, cfg.SRAMWords)
+	} else {
+		s.lruIndex = make(map[uint32]*lruNode, cfg.SRAMWords)
+	}
+	return s
+}
+
+// Stats returns the accumulated statistics.
+func (s *Simulator) Stats() Stats { return s.stats }
+
+// Config returns the simulator configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Step processes one access.
+func (s *Simulator) Step(a Access) {
+	s.stats.Accesses++
+	if a.Kind == Regen {
+		s.stats.Regenerations++
+		s.stats.EnergyPJ += energy.PJPerRegeneration()
+		return
+	}
+	if s.cfg.Policy == DirectMapped {
+		s.stepDirect(a)
+	} else {
+		s.stepLRU(a)
+	}
+}
+
+// Run processes a whole trace.
+func (s *Simulator) Run(trace []Access) {
+	for _, a := range trace {
+		s.Step(a)
+	}
+}
+
+func (s *Simulator) stepDirect(a Access) {
+	slot := int(a.Index) % s.cfg.SRAMWords
+	if s.tags[slot] == int32(a.Index) {
+		s.hit(a)
+		if a.Kind == Write {
+			s.dirty[slot] = true
+		}
+		return
+	}
+	// Miss: evict (write back if dirty), fill from DRAM.
+	if s.tags[slot] >= 0 && s.dirty[slot] {
+		s.stats.DRAMWrites++
+		s.stats.EnergyPJ += energy.PJPerDRAMAccess
+	}
+	s.miss(a)
+	s.tags[slot] = int32(a.Index)
+	s.dirty[slot] = a.Kind == Write
+}
+
+func (s *Simulator) stepLRU(a Access) {
+	if n, ok := s.lruIndex[a.Index]; ok {
+		s.hit(a)
+		if a.Kind == Write {
+			n.dirty = true
+		}
+		s.moveToFront(n)
+		return
+	}
+	if s.lruLen >= s.cfg.SRAMWords {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.lruIndex, victim.index)
+		s.lruLen--
+		if victim.dirty {
+			s.stats.DRAMWrites++
+			s.stats.EnergyPJ += energy.PJPerDRAMAccess
+		}
+	}
+	s.miss(a)
+	n := &lruNode{index: a.Index, dirty: a.Kind == Write}
+	s.pushFront(n)
+	s.lruIndex[a.Index] = n
+	s.lruLen++
+}
+
+func (s *Simulator) hit(a Access) {
+	s.stats.SRAMHits++
+	s.stats.EnergyPJ += s.cfg.PJPerSRAMAccess
+}
+
+func (s *Simulator) miss(a Access) {
+	s.stats.SRAMMisses++
+	// Fill from DRAM (even writes fetch-on-miss in this simple model),
+	// then the access itself hits SRAM.
+	s.stats.DRAMReads++
+	s.stats.EnergyPJ += energy.PJPerDRAMAccess + s.cfg.PJPerSRAMAccess
+}
+
+func (s *Simulator) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *Simulator) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *Simulator) moveToFront(n *lruNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}

@@ -1,0 +1,114 @@
+package hwsim
+
+import (
+	"fmt"
+
+	"dropback/internal/energy"
+)
+
+// SetAssociative simulates an N-way set-associative weight buffer with
+// per-set LRU replacement — the middle ground between the DirectMapped and
+// fully associative LRU organizations of the base simulator, and the
+// organization a real accelerator SRAM would most likely use.
+type SetAssociative struct {
+	cfg   Config
+	ways  int
+	sets  int
+	stats Stats
+	// lines[set*ways+way] holds the resident index (-1 empty).
+	lines []int32
+	dirty []bool
+	// age[set*ways+way] is a per-set LRU counter (higher = more recent).
+	age  []uint64
+	tick uint64
+}
+
+// NewSetAssociative builds an N-way simulator. SRAMWords must be divisible
+// by ways.
+func NewSetAssociative(cfg Config, ways int) *SetAssociative {
+	if cfg.SRAMWords <= 0 {
+		panic(fmt.Sprintf("hwsim: SRAM capacity must be positive, got %d", cfg.SRAMWords))
+	}
+	if ways <= 0 || cfg.SRAMWords%ways != 0 {
+		panic(fmt.Sprintf("hwsim: capacity %d not divisible into %d ways", cfg.SRAMWords, ways))
+	}
+	if cfg.PJPerSRAMAccess == 0 {
+		cfg.PJPerSRAMAccess = 5
+	}
+	s := &SetAssociative{
+		cfg:   cfg,
+		ways:  ways,
+		sets:  cfg.SRAMWords / ways,
+		lines: make([]int32, cfg.SRAMWords),
+		dirty: make([]bool, cfg.SRAMWords),
+		age:   make([]uint64, cfg.SRAMWords),
+	}
+	for i := range s.lines {
+		s.lines[i] = -1
+	}
+	return s
+}
+
+// Ways returns the associativity.
+func (s *SetAssociative) Ways() int { return s.ways }
+
+// Stats returns the accumulated statistics.
+func (s *SetAssociative) Stats() Stats { return s.stats }
+
+// Step processes one access.
+func (s *SetAssociative) Step(a Access) {
+	s.stats.Accesses++
+	if a.Kind == Regen {
+		s.stats.Regenerations++
+		s.stats.EnergyPJ += energy.PJPerRegeneration()
+		return
+	}
+	s.tick++
+	set := int(a.Index) % s.sets
+	base := set * s.ways
+	// Hit?
+	for w := 0; w < s.ways; w++ {
+		if s.lines[base+w] == int32(a.Index) {
+			s.stats.SRAMHits++
+			s.stats.EnergyPJ += s.cfg.PJPerSRAMAccess
+			s.age[base+w] = s.tick
+			if a.Kind == Write {
+				s.dirty[base+w] = true
+			}
+			return
+		}
+	}
+	// Miss: pick victim (empty way first, else per-set LRU).
+	victim := -1
+	for w := 0; w < s.ways; w++ {
+		if s.lines[base+w] < 0 {
+			victim = base + w
+			break
+		}
+	}
+	if victim < 0 {
+		victim = base
+		for w := 1; w < s.ways; w++ {
+			if s.age[base+w] < s.age[victim] {
+				victim = base + w
+			}
+		}
+		if s.dirty[victim] {
+			s.stats.DRAMWrites++
+			s.stats.EnergyPJ += energy.PJPerDRAMAccess
+		}
+	}
+	s.stats.SRAMMisses++
+	s.stats.DRAMReads++
+	s.stats.EnergyPJ += energy.PJPerDRAMAccess + s.cfg.PJPerSRAMAccess
+	s.lines[victim] = int32(a.Index)
+	s.dirty[victim] = a.Kind == Write
+	s.age[victim] = s.tick
+}
+
+// Run processes a whole trace.
+func (s *SetAssociative) Run(trace []Access) {
+	for _, a := range trace {
+		s.Step(a)
+	}
+}

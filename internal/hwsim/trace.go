@@ -1,0 +1,124 @@
+package hwsim
+
+// Trace generators for the two training regimes. A training step touches
+// weights in a predictable pattern: every live weight is read in the
+// forward pass, read again in the backward pass (weight values propagate
+// input gradients), and written by the optimizer update. Under DropBack
+// only tracked weights are live in memory; untracked weight reads become
+// regenerations and their writes disappear (the regenerated value is never
+// stored).
+
+// TraceConfig describes a training run to synthesize a trace for.
+type TraceConfig struct {
+	// TotalWeights is N, the model's parameter count.
+	TotalWeights int
+	// TrackedMask marks the weights resident in memory. nil means dense
+	// training (every weight tracked).
+	TrackedMask []bool
+	// Steps is the number of optimizer steps to trace.
+	Steps int
+}
+
+// GenerateSteps invokes fn for every access of the configured run, in
+// order, without materializing the whole trace (a full-size model's trace
+// would be billions of events).
+//
+// Tracked weights are addressed by their *rank* within the tracked set
+// rather than their raw flat index: DropBack hardware stores the tracked
+// set in a dense k-entry table (the paper's "priority queue of size k"),
+// so the memory system sees compact addresses. Dense training (nil mask)
+// uses raw indices.
+func GenerateSteps(cfg TraceConfig, fn func(Access)) {
+	var rank []int32
+	if cfg.TrackedMask != nil {
+		rank = make([]int32, cfg.TotalWeights)
+		r := int32(0)
+		for i := 0; i < cfg.TotalWeights; i++ {
+			if cfg.TrackedMask[i] {
+				rank[i] = r
+				r++
+			} else {
+				rank[i] = -1
+			}
+		}
+	}
+	addr := func(i int) (uint32, bool) {
+		if rank == nil {
+			return uint32(i), true
+		}
+		if rank[i] < 0 {
+			return uint32(i), false
+		}
+		return uint32(rank[i]), true
+	}
+	for s := 0; s < cfg.Steps; s++ {
+		// Forward pass reads, then backward pass reads.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < cfg.TotalWeights; i++ {
+				if a, ok := addr(i); ok {
+					fn(Access{Kind: Read, Index: a})
+				} else {
+					fn(Access{Kind: Regen, Index: uint32(i)})
+				}
+			}
+		}
+		// Optimizer writes (tracked only).
+		for i := 0; i < cfg.TotalWeights; i++ {
+			if a, ok := addr(i); ok {
+				fn(Access{Kind: Write, Index: a})
+			}
+		}
+	}
+}
+
+// Generate materializes the full trace (tests and small runs only).
+func Generate(cfg TraceConfig) []Access {
+	var out []Access
+	GenerateSteps(cfg, func(a Access) { out = append(out, a) })
+	return out
+}
+
+// CompareResult summarizes a baseline-vs-DropBack simulation pair.
+type CompareResult struct {
+	Baseline Stats
+	DropBack Stats
+	// EnergyReduction is baseline energy / DropBack energy.
+	EnergyReduction float64
+	// DRAMReduction is the off-chip traffic ratio.
+	DRAMReduction float64
+}
+
+// Compare simulates dense and DropBack training of an N-weight model for
+// the given steps on identical hardware (SRAM sized to hold the DropBack
+// budget, which is the design point the paper argues for).
+func Compare(totalWeights, budget, steps int, policy Policy) CompareResult {
+	mask := make([]bool, totalWeights)
+	// The tracked set's identity doesn't matter for the hierarchy; spread
+	// it uniformly so direct-mapped conflicts are representative.
+	stride := totalWeights / budget
+	if stride < 1 {
+		stride = 1
+	}
+	count := 0
+	for i := 0; i < totalWeights && count < budget; i += stride {
+		mask[i] = true
+		count++
+	}
+
+	base := NewSimulator(Config{SRAMWords: budget, Policy: policy})
+	GenerateSteps(TraceConfig{TotalWeights: totalWeights, Steps: steps}, base.Step)
+
+	db := NewSimulator(Config{SRAMWords: budget, Policy: policy})
+	GenerateSteps(TraceConfig{TotalWeights: totalWeights, TrackedMask: mask, Steps: steps}, db.Step)
+
+	r := CompareResult{Baseline: base.Stats(), DropBack: db.Stats()}
+	if e := r.DropBack.EnergyPJ; e > 0 {
+		r.EnergyReduction = r.Baseline.EnergyPJ / e
+	}
+	if d := r.DropBack.DRAMReads + r.DropBack.DRAMWrites; d > 0 {
+		r.DRAMReduction = float64(r.Baseline.DRAMReads+r.Baseline.DRAMWrites) / float64(d)
+	} else if r.Baseline.DRAMReads+r.Baseline.DRAMWrites > 0 {
+		r.DRAMReduction = float64(r.Baseline.DRAMReads + r.Baseline.DRAMWrites)
+	}
+	return r
+}

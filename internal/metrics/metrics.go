@@ -1,0 +1,200 @@
+// Package metrics provides classification evaluation beyond plain
+// accuracy: confusion matrices, per-class precision/recall, and top-k
+// accuracy. The experiment harness reports the paper's single-number
+// validation error; these richer views back the CLI tools and examples.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dropback/internal/tensor"
+)
+
+// Confusion is a square confusion matrix: Counts[actual][predicted].
+type Confusion struct {
+	Classes int
+	Counts  [][]int64
+}
+
+// NewConfusion returns an empty matrix over the given class count.
+func NewConfusion(classes int) *Confusion {
+	if classes <= 0 {
+		panic(fmt.Sprintf("metrics: class count %d must be positive", classes))
+	}
+	c := &Confusion{Classes: classes, Counts: make([][]int64, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int64, classes)
+	}
+	return c
+}
+
+// Add records a batch of logits (N, C) against labels.
+func (c *Confusion) Add(logits *tensor.Tensor, labels []int) {
+	preds := tensor.ArgmaxRows(logits)
+	if len(preds) != len(labels) {
+		panic("metrics: label count mismatch")
+	}
+	for i, p := range preds {
+		a := labels[i]
+		if a < 0 || a >= c.Classes || p < 0 || p >= c.Classes {
+			panic(fmt.Sprintf("metrics: class out of range (actual %d, predicted %d)", a, p))
+		}
+		c.Counts[a][p]++
+	}
+}
+
+// Total returns the number of recorded samples.
+func (c *Confusion) Total() int64 {
+	var n int64
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the overall fraction correct.
+func (c *Confusion) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	var diag int64
+	for i := 0; i < c.Classes; i++ {
+		diag += c.Counts[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// ClassStats holds one class's evaluation summary.
+type ClassStats struct {
+	Class     int
+	Support   int64 // actual samples of this class
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// PerClass computes precision/recall/F1 for every class. Classes with no
+// predictions or no support report zeros for the undefined quantities.
+func (c *Confusion) PerClass() []ClassStats {
+	out := make([]ClassStats, c.Classes)
+	for k := 0; k < c.Classes; k++ {
+		var tp, fp, fn int64
+		tp = c.Counts[k][k]
+		for j := 0; j < c.Classes; j++ {
+			if j != k {
+				fp += c.Counts[j][k] // predicted k but was j
+				fn += c.Counts[k][j] // was k but predicted j
+			}
+		}
+		s := ClassStats{Class: k, Support: tp + fn}
+		if tp+fp > 0 {
+			s.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			s.Recall = float64(tp) / float64(tp+fn)
+		}
+		if s.Precision+s.Recall > 0 {
+			s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// MostConfused returns the n largest off-diagonal entries as (actual,
+// predicted, count) triples, sorted by count descending — the error modes
+// worth inspecting.
+func (c *Confusion) MostConfused(n int) [](struct {
+	Actual, Predicted int
+	Count             int64
+}) {
+	type pair struct {
+		Actual, Predicted int
+		Count             int64
+	}
+	var all []pair
+	for a := 0; a < c.Classes; a++ {
+		for p := 0; p < c.Classes; p++ {
+			if a != p && c.Counts[a][p] > 0 {
+				all = append(all, pair{a, p, c.Counts[a][p]})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		if all[i].Actual != all[j].Actual {
+			return all[i].Actual < all[j].Actual
+		}
+		return all[i].Predicted < all[j].Predicted
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]struct {
+		Actual, Predicted int
+		Count             int64
+	}, n)
+	for i := 0; i < n; i++ {
+		out[i] = struct {
+			Actual, Predicted int
+			Count             int64
+		}(all[i])
+	}
+	return out
+}
+
+// String renders the matrix compactly.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d samples, acc %.2f%%)\n", c.Classes, c.Total(), c.Accuracy()*100)
+	for a := 0; a < c.Classes; a++ {
+		for p := 0; p < c.Classes; p++ {
+			fmt.Fprintf(&b, "%6d", c.Counts[a][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TopKAccuracy returns the fraction of rows whose true label ranks within
+// the k highest logits. Ties are broken toward lower class indices, so the
+// result is deterministic.
+func TopKAccuracy(logits *tensor.Tensor, labels []int, k int) float64 {
+	if len(logits.Shape) != 2 {
+		panic("metrics: TopKAccuracy requires (N, C) logits")
+	}
+	n, classes := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic("metrics: label count mismatch")
+	}
+	if n == 0 {
+		return 0
+	}
+	if k >= classes {
+		return 1
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*classes : (i+1)*classes]
+		y := labels[i]
+		target := row[y]
+		// Count entries that outrank the true class.
+		better := 0
+		for j, v := range row {
+			if v > target || (v == target && j < y) {
+				better++
+			}
+		}
+		if better < k {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

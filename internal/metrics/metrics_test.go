@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dropback/internal/tensor"
+)
+
+// logitsFor builds (N, C) logits whose argmax is preds[i].
+func logitsFor(preds []int, classes int) *tensor.Tensor {
+	t := tensor.New(len(preds), classes)
+	for i, p := range preds {
+		t.Set(1, i, p)
+	}
+	return t
+}
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(logitsFor([]int{0, 1, 2, 0}, 3), []int{0, 1, 2, 1})
+	if c.Total() != 4 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %v, want 0.75", c.Accuracy())
+	}
+	if c.Counts[1][0] != 1 {
+		t.Fatal("misclassification not recorded at [actual=1][pred=0]")
+	}
+}
+
+func TestConfusionPerClass(t *testing.T) {
+	c := NewConfusion(2)
+	// actual 0: predicted 0,0,1 ; actual 1: predicted 1.
+	c.Add(logitsFor([]int{0, 0, 1, 1}, 2), []int{0, 0, 0, 1})
+	stats := c.PerClass()
+	// class 0: tp=2, fn=1, fp=0 -> precision 1, recall 2/3.
+	if stats[0].Precision != 1 {
+		t.Fatalf("class 0 precision = %v", stats[0].Precision)
+	}
+	if math.Abs(stats[0].Recall-2.0/3) > 1e-12 {
+		t.Fatalf("class 0 recall = %v", stats[0].Recall)
+	}
+	if stats[0].Support != 3 {
+		t.Fatalf("class 0 support = %v", stats[0].Support)
+	}
+	// class 1: tp=1, fp=1, fn=0 -> precision 0.5, recall 1.
+	if math.Abs(stats[1].Precision-0.5) > 1e-12 || stats[1].Recall != 1 {
+		t.Fatalf("class 1 = %+v", stats[1])
+	}
+	wantF1 := 2 * 0.5 * 1 / 1.5
+	if math.Abs(stats[1].F1-wantF1) > 1e-12 {
+		t.Fatalf("class 1 F1 = %v, want %v", stats[1].F1, wantF1)
+	}
+}
+
+func TestPerClassZeroSupport(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(logitsFor([]int{0}, 3), []int{0})
+	stats := c.PerClass()
+	if stats[2].Precision != 0 || stats[2].Recall != 0 || stats[2].F1 != 0 {
+		t.Fatal("empty class must report zeros, not NaN")
+	}
+}
+
+func TestMostConfused(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(logitsFor([]int{1, 1, 1, 2}, 3), []int{0, 0, 0, 0})
+	top := c.MostConfused(2)
+	if len(top) != 2 {
+		t.Fatalf("got %d pairs", len(top))
+	}
+	if top[0].Actual != 0 || top[0].Predicted != 1 || top[0].Count != 3 {
+		t.Fatalf("top confusion = %+v", top[0])
+	}
+	if top[1].Count != 1 {
+		t.Fatalf("second confusion = %+v", top[1])
+	}
+	if got := c.MostConfused(100); len(got) != 2 {
+		t.Fatal("n beyond pairs must clamp")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(logitsFor([]int{0, 1}, 2), []int{0, 1})
+	if s := c.String(); !strings.Contains(s, "acc 100.00%") {
+		t.Fatalf("String output: %q", s)
+	}
+}
+
+func TestConfusionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewConfusion(0) },
+		func() { NewConfusion(2).Add(logitsFor([]int{0}, 2), []int{0, 1}) },
+		func() { NewConfusion(2).Add(logitsFor([]int{0}, 2), []int{5}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		0.5, 0.3, 0.2, // true 1: rank 2
+		0.1, 0.7, 0.2, // true 1: rank 1
+		0.3, 0.3, 0.4, // true 0: tie with class 1, class 0 wins tie -> rank 2
+	}, 3, 3)
+	labels := []int{1, 1, 0}
+	if got := TopKAccuracy(logits, labels, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("top-1 = %v, want 1/3", got)
+	}
+	if got := TopKAccuracy(logits, labels, 2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("top-2 = %v, want 1", got)
+	}
+	if got := TopKAccuracy(logits, labels, 5); got != 1 {
+		t.Fatalf("top-k beyond classes = %v, want 1", got)
+	}
+}
+
+func TestTopKMatchesArgmaxAtK1(t *testing.T) {
+	logits := tensor.New(10, 4)
+	labels := make([]int, 10)
+	for i := 0; i < 10; i++ {
+		labels[i] = i % 4
+		logits.Set(float32(i%3), i, i%4) // some right, some ties
+		logits.Set(0.5, i, (i+1)%4)
+	}
+	want := tensor.Accuracy(logits, labels)
+	if got := TopKAccuracy(logits, labels, 1); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("top-1 %v != argmax accuracy %v", got, want)
+	}
+}
+
+func TestTopKUniformLogitsTieBreak(t *testing.T) {
+	// All-zero logits: ties resolve toward lower class indices, so label 0
+	// ranks first and label 2 ranks last.
+	logits := tensor.New(2, 3)
+	if got := TopKAccuracy(logits, []int{0, 0}, 1); got != 1 {
+		t.Fatalf("label 0 under uniform logits: top-1 = %v, want 1", got)
+	}
+	if got := TopKAccuracy(logits, []int{2, 2}, 1); got != 0 {
+		t.Fatalf("label 2 under uniform logits: top-1 = %v, want 0", got)
+	}
+	if got := TopKAccuracy(logits, []int{2, 2}, 3); got != 1 {
+		t.Fatalf("label 2 under uniform logits: top-3 = %v, want 1", got)
+	}
+}

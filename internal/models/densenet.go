@@ -1,0 +1,107 @@
+package models
+
+import (
+	"fmt"
+
+	"dropback/internal/nn"
+	"dropback/internal/prune"
+)
+
+// DenseNetConfig describes a densely connected network (Huang et al. 2016)
+// for CIFAR-scale inputs: three dense blocks separated by transition
+// layers. Depth must be 3n+4 for the basic variant (each dense unit is
+// BN-ReLU-Conv3×3) or 6n+4 with Bottleneck (BN-ReLU-Conv1×1(4k)-BN-ReLU-
+// Conv3×3(k), the "BC" variant).
+type DenseNetConfig struct {
+	Name          string
+	Depth         int
+	Growth        int
+	Bottleneck    bool
+	InputChannels int
+	Classes       int
+	Seed          uint64
+	Factory       prune.LayerFactory
+}
+
+// DenseNetPaper returns a basic DenseNet configuration sized near the
+// paper's 2.7M-parameter model (depth 64, growth 16 lands at ≈2.8M; the
+// paper does not state its exact depth/growth, only the total).
+func DenseNetPaper(seed uint64) DenseNetConfig {
+	return DenseNetConfig{Name: "densenet", Depth: 64, Growth: 16, InputChannels: 3, Classes: 10, Seed: seed}
+}
+
+// DenseNetReduced returns a small DenseNet for CPU-sized experiments.
+func DenseNetReduced(depth, growth int, seed uint64, factory prune.LayerFactory) DenseNetConfig {
+	return DenseNetConfig{
+		Name: fmt.Sprintf("densenet%dk%d", depth, growth), Depth: depth, Growth: growth,
+		InputChannels: 3, Classes: 10, Seed: seed, Factory: factory,
+	}
+}
+
+// denseUnit builds one dense unit mapping in channels to growth channels.
+func denseUnit(name string, seed uint64, f prune.LayerFactory, in, growth int, bottleneck bool) nn.Layer {
+	if bottleneck {
+		mid := 4 * growth
+		return nn.NewSequential(name,
+			nn.NewBatchNorm(name+"/bn1", seed, in),
+			nn.NewReLU(name+"/relu1"),
+			f.Conv2DNoBias(name+"/conv1", seed, in, mid, 1, 1, 0),
+			nn.NewBatchNorm(name+"/bn2", seed, mid),
+			nn.NewReLU(name+"/relu2"),
+			f.Conv2DNoBias(name+"/conv2", seed, mid, growth, 3, 1, 1),
+		)
+	}
+	return nn.NewSequential(name,
+		nn.NewBatchNorm(name+"/bn", seed, in),
+		nn.NewReLU(name+"/relu"),
+		f.Conv2DNoBias(name+"/conv", seed, in, growth, 3, 1, 1),
+	)
+}
+
+// NewDenseNet builds the network: Conv3×3 stem to 2·Growth channels, three
+// dense blocks with transitions (BN-ReLU-Conv1×1 halving channels, then 2×2
+// average pooling), and a BN-ReLU-GlobalAvgPool-FC head.
+func NewDenseNet(cfg DenseNetConfig) *nn.Model {
+	unitCost := 1
+	if cfg.Bottleneck {
+		unitCost = 2
+	}
+	per := (cfg.Depth - 4) / (3 * unitCost)
+	if per < 1 || (cfg.Depth-4)%(3*unitCost) != 0 {
+		panic(fmt.Sprintf("models: DenseNet depth %d incompatible with 3 blocks of %d-layer units", cfg.Depth, unitCost))
+	}
+	f := cfg.Factory
+	if f == nil {
+		f = prune.Standard{}
+	}
+	c := 2 * cfg.Growth
+	seq := nn.NewSequential(cfg.Name,
+		f.Conv2DNoBias(cfg.Name+"/stem", cfg.Seed, cfg.InputChannels, c, 3, 1, 1),
+	)
+	for b := 0; b < 3; b++ {
+		units := make([]nn.Layer, per)
+		for u := 0; u < per; u++ {
+			units[u] = denseUnit(fmt.Sprintf("%s/b%d/u%d", cfg.Name, b+1, u+1), cfg.Seed, f, c+u*cfg.Growth, cfg.Growth, cfg.Bottleneck)
+		}
+		seq.Append(nn.NewDenseBlock(fmt.Sprintf("%s/b%d", cfg.Name, b+1), c, cfg.Growth, units...))
+		c += per * cfg.Growth
+		if b < 2 {
+			half := c / 2
+			tname := fmt.Sprintf("%s/t%d", cfg.Name, b+1)
+			seq.Append(
+				nn.NewBatchNorm(tname+"/bn", cfg.Seed, c),
+				nn.NewReLU(tname+"/relu"),
+				f.Conv2DNoBias(tname+"/conv", cfg.Seed, c, half, 1, 1, 0),
+				nn.NewAvgPool2D(tname+"/pool", 2, 2),
+			)
+			c = half
+		}
+	}
+	seq.Append(
+		nn.NewBatchNorm(cfg.Name+"/head_bn", cfg.Seed, c),
+		nn.NewReLU(cfg.Name+"/head_relu"),
+		nn.NewGlobalAvgPool2D(cfg.Name+"/gap"),
+		f.Linear(cfg.Name+"/fc", cfg.Seed, c, cfg.Classes),
+	)
+	return nn.NewModel(seq, cfg.Seed)
+}

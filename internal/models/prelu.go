@@ -1,0 +1,32 @@
+package models
+
+import (
+	"fmt"
+
+	"dropback/internal/nn"
+	"dropback/internal/prune"
+)
+
+// NewMLPWithBNPReLU builds an MLP whose hidden layers are followed by
+// batch normalization and parametric ReLU. The paper highlights that
+// DropBack uniquely prunes these layers: their constant initializations
+// (γ=1, β=0, PReLU slope 0.25) are trivially regenerable, so BN and PReLU
+// parameters live in the same tracked/untracked address space as weights.
+func NewMLPWithBNPReLU(name string, in int, hidden []int, classes int, seed uint64, factory prune.LayerFactory) *nn.Model {
+	f := factory
+	if f == nil {
+		f = prune.Standard{}
+	}
+	seq := nn.NewSequential(name)
+	cur := in
+	for i, h := range hidden {
+		seq.Append(
+			f.Linear(fmt.Sprintf("%s/fc%d", name, i+1), seed, cur, h),
+			nn.NewBatchNorm(fmt.Sprintf("%s/bn%d", name, i+1), seed, h),
+			nn.NewPReLU(fmt.Sprintf("%s/prelu%d", name, i+1), seed),
+		)
+		cur = h
+	}
+	seq.Append(f.Linear(fmt.Sprintf("%s/fc%d", name, len(hidden)+1), seed, cur, classes))
+	return nn.NewModel(seq, seed)
+}

@@ -1,0 +1,99 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"dropback/internal/core"
+	"dropback/internal/optim"
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+func TestMLPWithBNPReLUTrains(t *testing.T) {
+	m := NewMLPWithBNPReLU("pm", 16, []int{12, 12}, 4, 3, nil)
+	x := tensor.New(8, 16)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(5, uint64(i))
+	}
+	labels := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	sgd := optim.NewSGD(0.1)
+	first, _ := m.Step(x, labels)
+	for i := 0; i < 100; i++ {
+		m.Step(x, labels)
+		sgd.Step(m.Set)
+	}
+	last, _ := m.Eval(x, labels)
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestDropBackPrunesBNAndPReLU(t *testing.T) {
+	// The §2.1 claim: BN and PReLU parameters are in DropBack's address
+	// space, get regenerated to their constant inits when untracked, and
+	// may be tracked when they learn enough.
+	m := NewMLPWithBNPReLU("pp", 16, []int{12}, 4, 7, nil)
+	db := core.New(m.Set, core.Config{Budget: 20})
+	x := tensor.New(8, 16)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(9, uint64(i))
+	}
+	labels := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	sgd := optim.NewSGD(0.2)
+	for i := 0; i < 50; i++ {
+		m.Step(x, labels)
+		sgd.Step(m.Set)
+		db.Apply()
+	}
+	// Every untracked BN gamma must sit at exactly 1, beta at 0, PReLU
+	// slope at 0.25 — the regenerated constants.
+	mask := db.Mask()
+	sawBNParam := false
+	for i, p := range m.Set.Params() {
+		var want float32
+		switch {
+		case strings.HasSuffix(p.Name, "/gamma"):
+			want = 1
+		case strings.HasSuffix(p.Name, "/beta"):
+			want = 0
+		case strings.HasSuffix(p.Name, "/a"):
+			want = 0.25
+		default:
+			continue
+		}
+		sawBNParam = true
+		base := m.Set.Offset(i)
+		for e, v := range p.Value.Data {
+			if mask[base+e] {
+				continue // tracked: may deviate
+			}
+			if v != want {
+				t.Fatalf("untracked %s[%d] = %v, want regenerated constant %v", p.Name, e, v, want)
+			}
+		}
+	}
+	if !sawBNParam {
+		t.Fatal("model has no BN/PReLU parameters to check")
+	}
+	// The budget accounting includes BN/PReLU: total deviations <= 20.
+	deviating := 0
+	for g := 0; g < m.Set.Total(); g++ {
+		if m.Set.Get(g) != m.Set.InitialValue(g) {
+			deviating++
+		}
+	}
+	if deviating > 20 {
+		t.Fatalf("%d deviations exceed budget 20", deviating)
+	}
+}
+
+func TestBNPReLUVariationalFactory(t *testing.T) {
+	m := NewMLPWithBNPReLU("pv", 8, []int{6}, 3, 11, nil)
+	if m.Set.ByName("pv/bn1/gamma") == nil {
+		t.Fatal("BN gamma not registered")
+	}
+	if m.Set.ByName("pv/prelu1/a") == nil {
+		t.Fatal("PReLU slope not registered")
+	}
+}

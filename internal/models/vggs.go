@@ -1,0 +1,94 @@
+package models
+
+import (
+	"fmt"
+
+	"dropback/internal/nn"
+	"dropback/internal/prune"
+)
+
+// VGGSConfig describes the VGG-S model: "a reduced VGG-16-like model with
+// dropout, batch normalization, and two FC layers of 512 neurons including
+// the output layer (a total of 15M parameters vs. the 138M of VGG-16)" (§3).
+type VGGSConfig struct {
+	Name string
+	// InputSize is the square image side (32 for CIFAR-10).
+	InputSize int
+	// InputChannels is 3 for CIFAR-10.
+	InputChannels int
+	// Width is the base channel count; 64 reproduces the 15M-parameter
+	// model, smaller values give the reduced experiment variants.
+	Width int
+	// FC is the hidden fully connected width (512 in the paper).
+	FC int
+	// Classes is the output dimension.
+	Classes int
+	// DropoutP is the dropout probability on the FC stage (0 disables).
+	DropoutP float32
+	Seed     uint64
+	Factory  prune.LayerFactory
+}
+
+// VGGSPaper returns the full-size 15M-parameter configuration.
+func VGGSPaper(seed uint64) VGGSConfig {
+	return VGGSConfig{
+		Name: "vggs", InputSize: 32, InputChannels: 3, Width: 64, FC: 512,
+		Classes: 10, DropoutP: 0.5, Seed: seed,
+	}
+}
+
+// VGGSReduced returns a width-scaled variant for CPU-sized experiments.
+func VGGSReduced(inputSize, width int, seed uint64, factory prune.LayerFactory) VGGSConfig {
+	return VGGSConfig{
+		Name: "vggs", InputSize: inputSize, InputChannels: 3, Width: width,
+		FC: width * 8, Classes: 10, DropoutP: 0.5, Seed: seed, Factory: factory,
+	}
+}
+
+// NewVGGS builds the VGG-S network: five convolution stages with widths
+// (w, 2w, 4w, 8w, 8w), batch norm + ReLU after every convolution, 2×2 max
+// pooling after each stage while spatial size permits, then
+// flatten → FC → ReLU → dropout → FC(classes).
+func NewVGGS(cfg VGGSConfig) *nn.Model {
+	f := cfg.Factory
+	if f == nil {
+		f = prune.Standard{}
+	}
+	w := cfg.Width
+	stages := [][]int{
+		{w, w},
+		{2 * w, 2 * w},
+		{4 * w, 4 * w, 4 * w},
+		{8 * w, 8 * w, 8 * w},
+		{8 * w, 8 * w, 8 * w},
+	}
+	seq := nn.NewSequential(cfg.Name)
+	in := cfg.InputChannels
+	spatial := cfg.InputSize
+	ci := 0
+	for si, widths := range stages {
+		for _, out := range widths {
+			ci++
+			cname := fmt.Sprintf("%s/conv%d", cfg.Name, ci)
+			seq.Append(
+				f.Conv2DNoBias(cname, cfg.Seed, in, out, 3, 1, 1),
+				nn.NewBatchNorm(cname+"_bn", cfg.Seed, out),
+				nn.NewReLU(cname+"_relu"),
+			)
+			in = out
+		}
+		if spatial > 1 {
+			seq.Append(nn.NewMaxPool2D(fmt.Sprintf("%s/pool%d", cfg.Name, si+1), 2, 2))
+			spatial /= 2
+		}
+	}
+	seq.Append(nn.NewFlatten(cfg.Name + "/flatten"))
+	flat := in * spatial * spatial
+	seq.Append(f.Linear(cfg.Name+"/fc1", cfg.Seed, flat, cfg.FC))
+	seq.Append(nn.NewReLU(cfg.Name + "/fc1_relu"))
+	if cfg.DropoutP > 0 {
+		seq.Append(nn.NewDropout(cfg.Name+"/drop", cfg.Seed^0xD0, cfg.DropoutP))
+	}
+	seq.Append(f.Linear(cfg.Name+"/fc2", cfg.Seed, cfg.FC, cfg.Classes))
+	return nn.NewModel(seq, cfg.Seed)
+}

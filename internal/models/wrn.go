@@ -1,0 +1,95 @@
+package models
+
+import (
+	"fmt"
+
+	"dropback/internal/nn"
+	"dropback/internal/prune"
+)
+
+// WRNConfig describes a wide residual network (Zagoruyko & Komodakis 2016).
+// Depth must be 6n+4; WidenFactor k scales the group widths (16k, 32k,
+// 64k). WRN-28-10 is Depth=28, WidenFactor=10 (≈36M parameters, §3).
+type WRNConfig struct {
+	Name          string
+	Depth         int
+	WidenFactor   int
+	InputChannels int
+	Classes       int
+	Seed          uint64
+	Factory       prune.LayerFactory
+}
+
+// WRN2810Paper returns the full-size WRN-28-10 configuration.
+func WRN2810Paper(seed uint64) WRNConfig {
+	return WRNConfig{Name: "wrn28x10", Depth: 28, WidenFactor: 10, InputChannels: 3, Classes: 10, Seed: seed}
+}
+
+// WRNReduced returns a small WRN (e.g. depth 10, widen 2) for CPU-sized
+// experiments.
+func WRNReduced(depth, widen int, seed uint64, factory prune.LayerFactory) WRNConfig {
+	return WRNConfig{
+		Name: fmt.Sprintf("wrn%dx%d", depth, widen), Depth: depth, WidenFactor: widen,
+		InputChannels: 3, Classes: 10, Seed: seed, Factory: factory,
+	}
+}
+
+// wrnBlock builds one pre-activation residual block:
+// BN-ReLU-Conv3×3 — BN-ReLU-Conv3×3, with a 1×1 convolution shortcut when
+// the channel count or stride changes.
+func wrnBlock(name string, seed uint64, f prune.LayerFactory, in, out, stride int) nn.Layer {
+	body := nn.NewSequential(name+"/body",
+		nn.NewBatchNorm(name+"/bn1", seed, in),
+		nn.NewReLU(name+"/relu1"),
+		f.Conv2DNoBias(name+"/conv1", seed, in, out, 3, stride, 1),
+		nn.NewBatchNorm(name+"/bn2", seed, out),
+		nn.NewReLU(name+"/relu2"),
+		f.Conv2DNoBias(name+"/conv2", seed, out, out, 3, 1, 1),
+	)
+	var shortcut nn.Layer
+	if in != out || stride != 1 {
+		shortcut = f.Conv2DNoBias(name+"/shortcut", seed, in, out, 1, stride, 0)
+	}
+	return nn.NewResidual(name, body, shortcut)
+}
+
+// NewWRN builds the wide residual network: Conv3×3(16) stem, three groups
+// of n = (Depth−4)/6 blocks at widths (16k, 32k, 64k) with strides
+// (1, 2, 2), then BN-ReLU-GlobalAvgPool-FC.
+func NewWRN(cfg WRNConfig) *nn.Model {
+	if (cfg.Depth-4)%6 != 0 || cfg.Depth < 10 {
+		panic(fmt.Sprintf("models: WRN depth must be 6n+4 with n>=1, got %d", cfg.Depth))
+	}
+	f := cfg.Factory
+	if f == nil {
+		f = prune.Standard{}
+	}
+	n := (cfg.Depth - 4) / 6
+	widths := []int{16 * cfg.WidenFactor, 32 * cfg.WidenFactor, 64 * cfg.WidenFactor}
+	seq := nn.NewSequential(cfg.Name,
+		f.Conv2DNoBias(cfg.Name+"/stem", cfg.Seed, cfg.InputChannels, 16, 3, 1, 1),
+	)
+	in := 16
+	for g, w := range widths {
+		stride := 2
+		if g == 0 {
+			stride = 1
+		}
+		for b := 0; b < n; b++ {
+			s := 1
+			if b == 0 {
+				s = stride
+			}
+			name := fmt.Sprintf("%s/g%d/b%d", cfg.Name, g+1, b+1)
+			seq.Append(wrnBlock(name, cfg.Seed, f, in, w, s))
+			in = w
+		}
+	}
+	seq.Append(
+		nn.NewBatchNorm(cfg.Name+"/head_bn", cfg.Seed, in),
+		nn.NewReLU(cfg.Name+"/head_relu"),
+		nn.NewGlobalAvgPool2D(cfg.Name+"/gap"),
+		f.Linear(cfg.Name+"/fc", cfg.Seed, in, cfg.Classes),
+	)
+	return nn.NewModel(seq, cfg.Seed)
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if cap(l.mask) < x.Len() {
+		l.mask = make([]bool, x.Len())
+	}
+	l.mask = l.mask[:x.Len()]
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		if l.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// PReLU is the parametric ReLU: x for x>0, a·x otherwise, with a single
+// learnable slope a initialized to 0.25. The paper highlights that DropBack
+// prunes PReLU slopes "out of the box" because their constant initialization
+// is trivially regenerable.
+type PReLU struct {
+	name string
+	A    *Param
+	x    *tensor.Tensor
+}
+
+// NewPReLU returns a parametric ReLU with one shared learnable slope.
+func NewPReLU(name string, modelSeed uint64) *PReLU {
+	return &PReLU{
+		name: name,
+		A:    NewParam(name+"/a", modelSeed, xorshift.InitConstant, 0.25, 1),
+	}
+}
+
+// Name implements Layer.
+func (l *PReLU) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *PReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	a := l.A.Value.Data[0]
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		} else {
+			y.Data[i] = a * v
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *PReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	a := l.A.Value.Data[0]
+	dx := tensor.New(dy.Shape...)
+	var da float64
+	for i, g := range dy.Data {
+		if l.x.Data[i] > 0 {
+			dx.Data[i] = g
+		} else {
+			dx.Data[i] = a * g
+			da += float64(g) * float64(l.x.Data[i])
+		}
+	}
+	l.A.Grad.Data[0] += float32(da)
+	return dx
+}
+
+// Params implements Layer.
+func (l *PReLU) Params() []*Param { return []*Param{l.A} }
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1−P) (inverted dropout), so inference is the identity.
+// Sampling is driven by a deterministic xorshift stream so training runs are
+// reproducible.
+type Dropout struct {
+	name string
+	P    float32
+	rng  *xorshift.State64
+	mask []float32
+}
+
+// NewDropout returns a dropout layer with drop probability p in [0, 1).
+func NewDropout(name string, seed uint64, p float32) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{name: name, P: p, rng: xorshift.NewState64(seed)}
+}
+
+// Name implements Layer.
+func (l *Dropout) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.P == 0 {
+		l.mask = nil
+		return x
+	}
+	if cap(l.mask) < x.Len() {
+		l.mask = make([]float32, x.Len())
+	}
+	l.mask = l.mask[:x.Len()]
+	scale := 1 / (1 - l.P)
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if l.rng.Float32() < l.P {
+			l.mask[i] = 0
+		} else {
+			l.mask[i] = scale
+			y.Data[i] = v * scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.mask == nil {
+		return dy
+	}
+	dx := tensor.New(dy.Shape...)
+	for i, g := range dy.Data {
+		dx.Data[i] = g * l.mask[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Dropout) Params() []*Param { return nil }

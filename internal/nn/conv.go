@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// Conv2D is a 2-D convolution over (N, C, H, W) activations with weight
+// (F, C, KH, KW) and optional bias (F), implemented by im2col lowering so
+// the inner kernel is the parallel matmul. Weights use He-scaled normal
+// initialization (ReLU networks); biases start at zero.
+type Conv2D struct {
+	name        string
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	W           *Param
+	B           *Param
+	useBias     bool
+	cols        []*tensor.Tensor // cached per-sample im2col matrices
+	inShape     []int
+	outH, outW  int
+}
+
+// NewConv2D builds a convolution layer; kernel is square (k×k).
+func NewConv2D(name string, modelSeed uint64, inC, outC, k, stride, pad int) *Conv2D {
+	fanIn := inC * k * k
+	return &Conv2D{
+		name: name, InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+		W:       NewParam(name+"/W", modelSeed, xorshift.InitScaledNormal, xorshift.HeScale(fanIn), outC, inC, k, k),
+		B:       NewParam(name+"/b", modelSeed, xorshift.InitZero, 0, outC),
+		useBias: true,
+	}
+}
+
+// NewConv2DNoBias builds a convolution without a bias term (the standard
+// choice when a BatchNorm immediately follows).
+func NewConv2DNoBias(name string, modelSeed uint64, inC, outC, k, stride, pad int) *Conv2D {
+	c := NewConv2D(name, modelSeed, inC, outC, k, stride, pad)
+	c.useBias = false
+	c.B = nil
+	return c
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != l.InC {
+		panic(fmt.Sprintf("nn: conv %q expected (N,%d,H,W) input, got %v", l.name, l.InC, x.Shape))
+	}
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	l.outH = tensor.ConvOutSize(h, l.KH, l.Stride, l.Pad)
+	l.outW = tensor.ConvOutSize(w, l.KW, l.Stride, l.Pad)
+	wm := l.W.Value.Reshape(l.OutC, l.InC*l.KH*l.KW)
+	y := tensor.New(n, l.OutC, l.outH, l.outW)
+	l.cols = l.cols[:0]
+	perSample := l.OutC * l.outH * l.outW
+	for i := 0; i < n; i++ {
+		img := tensor.FromSlice(x.Data[i*l.InC*h*w:(i+1)*l.InC*h*w], l.InC, h, w)
+		cols := tensor.Im2Col(img, l.KH, l.KW, l.Stride, l.Pad)
+		l.cols = append(l.cols, cols)
+		ym := tensor.MatMul(wm, cols) // (OutC, OH*OW)
+		copy(y.Data[i*perSample:(i+1)*perSample], ym.Data)
+	}
+	if l.useBias {
+		for i := 0; i < n; i++ {
+			for f := 0; f < l.OutC; f++ {
+				b := l.B.Value.Data[f]
+				base := (i*l.OutC + f) * l.outH * l.outW
+				plane := y.Data[base : base+l.outH*l.outW]
+				for j := range plane {
+					plane[j] += b
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if len(l.cols) == 0 {
+		panic(fmt.Sprintf("nn: conv %q Backward before Forward", l.name))
+	}
+	n := l.inShape[0]
+	h, w := l.inShape[2], l.inShape[3]
+	wm := l.W.Value.Reshape(l.OutC, l.InC*l.KH*l.KW)
+	dWm := l.W.Grad.Reshape(l.OutC, l.InC*l.KH*l.KW)
+	dx := tensor.New(l.inShape...)
+	spatial := l.outH * l.outW
+	for i := 0; i < n; i++ {
+		dyM := tensor.FromSlice(dy.Data[i*l.OutC*spatial:(i+1)*l.OutC*spatial], l.OutC, spatial)
+		// dW += dy @ colsᵀ.
+		tensor.AddInPlace(dWm, tensor.MatMulTransB(dyM, l.cols[i]))
+		if l.useBias {
+			for f := 0; f < l.OutC; f++ {
+				var s float64
+				row := dyM.Data[f*spatial : (f+1)*spatial]
+				for _, v := range row {
+					s += float64(v)
+				}
+				l.B.Grad.Data[f] += float32(s)
+			}
+		}
+		// dcols = Wᵀ @ dy, then scatter back to the image.
+		dcols := tensor.MatMulTransA(wm, dyM) // (C*KH*KW, spatial)
+		dimg := tensor.Col2Im(dcols, l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad)
+		copy(dx.Data[i*l.InC*h*w:(i+1)*l.InC*h*w], dimg.Data)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Conv2D) Params() []*Param {
+	if l.useBias {
+		return []*Param{l.W, l.B}
+	}
+	return []*Param{l.W}
+}

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+)
+
+// ConcatChannels concatenates 4-D tensors (N, C_i, H, W) along the channel
+// axis. All inputs must agree on N, H and W.
+func ConcatChannels(xs ...*tensor.Tensor) *tensor.Tensor {
+	if len(xs) == 0 {
+		panic("nn: ConcatChannels needs at least one tensor")
+	}
+	n, h, w := xs[0].Shape[0], xs[0].Shape[2], xs[0].Shape[3]
+	totalC := 0
+	for _, x := range xs {
+		if len(x.Shape) != 4 || x.Shape[0] != n || x.Shape[2] != h || x.Shape[3] != w {
+			panic(fmt.Sprintf("nn: ConcatChannels shape mismatch: %v vs (N=%d,H=%d,W=%d)", x.Shape, n, h, w))
+		}
+		totalC += x.Shape[1]
+	}
+	out := tensor.New(n, totalC, h, w)
+	spatial := h * w
+	for i := 0; i < n; i++ {
+		dstC := 0
+		for _, x := range xs {
+			c := x.Shape[1]
+			src := x.Data[i*c*spatial : (i+1)*c*spatial]
+			dst := out.Data[(i*totalC+dstC)*spatial : (i*totalC+dstC+c)*spatial]
+			copy(dst, src)
+			dstC += c
+		}
+	}
+	return out
+}
+
+// SplitChannels is the inverse of ConcatChannels: it slices a (N, C, H, W)
+// tensor into tensors of the requested channel widths (which must sum to C).
+func SplitChannels(x *tensor.Tensor, widths ...int) []*tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic("nn: SplitChannels requires a 4-D tensor")
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	sum := 0
+	for _, wd := range widths {
+		sum += wd
+	}
+	if sum != c {
+		panic(fmt.Sprintf("nn: SplitChannels widths %v sum to %d, tensor has %d channels", widths, sum, c))
+	}
+	outs := make([]*tensor.Tensor, len(widths))
+	for k, wd := range widths {
+		outs[k] = tensor.New(n, wd, h, w)
+	}
+	spatial := h * w
+	for i := 0; i < n; i++ {
+		srcC := 0
+		for k, wd := range widths {
+			src := x.Data[(i*c+srcC)*spatial : (i*c+srcC+wd)*spatial]
+			dst := outs[k].Data[i*wd*spatial : (i+1)*wd*spatial]
+			copy(dst, src)
+			srcC += wd
+		}
+	}
+	return outs
+}
+
+// DenseBlock is the densely connected block of Huang et al. (2016): unit i
+// consumes the channel-concatenation of the block input and all previous
+// unit outputs, and contributes Growth new channels; the block output is the
+// concatenation of everything.
+type DenseBlock struct {
+	name   string
+	InC    int
+	Growth int
+	Units  []Layer // unit i maps (InC + i*Growth) channels -> Growth channels
+}
+
+// NewDenseBlock wraps the given units into a dense block. Unit i must map
+// inC + i*growth input channels to exactly growth output channels.
+func NewDenseBlock(name string, inC, growth int, units ...Layer) *DenseBlock {
+	return &DenseBlock{name: name, InC: inC, Growth: growth, Units: units}
+}
+
+// Name implements Layer.
+func (b *DenseBlock) Name() string { return b.name }
+
+// OutChannels returns the number of channels the block emits.
+func (b *DenseBlock) OutChannels() int { return b.InC + len(b.Units)*b.Growth }
+
+// Forward implements Layer.
+func (b *DenseBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 || x.Shape[1] != b.InC {
+		panic(fmt.Sprintf("nn: dense block %q expected (N,%d,H,W), got %v", b.name, b.InC, x.Shape))
+	}
+	feats := []*tensor.Tensor{x}
+	for i, u := range b.Units {
+		in := ConcatChannels(feats...)
+		y := u.Forward(in, train)
+		if y.Shape[1] != b.Growth {
+			panic(fmt.Sprintf("nn: dense block %q unit %d emitted %d channels, want growth %d", b.name, i, y.Shape[1], b.Growth))
+		}
+		feats = append(feats, y)
+	}
+	return ConcatChannels(feats...)
+}
+
+// Backward implements Layer.
+func (b *DenseBlock) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	k := len(b.Units)
+	widths := make([]int, k+1)
+	widths[0] = b.InC
+	for i := 1; i <= k; i++ {
+		widths[i] = b.Growth
+	}
+	// gradChunks[0] accumulates dX; gradChunks[i] accumulates the gradient
+	// flowing into unit i's output.
+	gradChunks := SplitChannels(dy, widths...)
+	for i := k - 1; i >= 0; i-- {
+		dIn := b.Units[i].Backward(gradChunks[i+1])
+		// dIn covers the concat of chunks 0..i; scatter-accumulate.
+		parts := SplitChannels(dIn, widths[:i+1]...)
+		for j, p := range parts {
+			tensor.AddInPlace(gradChunks[j], p)
+		}
+	}
+	return gradChunks[0]
+}
+
+// Params implements Layer.
+func (b *DenseBlock) Params() []*Param {
+	var ps []*Param
+	for _, u := range b.Units {
+		ps = append(ps, u.Params()...)
+	}
+	return ps
+}

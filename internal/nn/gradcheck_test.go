@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// gradCheck verifies a layer's analytic gradients (input and parameters)
+// against central finite differences of the scalar loss sum(y ⊙ r), where r
+// is a fixed random weighting. BatchNorm and dropout-free layers only
+// (dropout resamples per call; it gets a dedicated test).
+func gradCheck(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	y := layer.Forward(x, true)
+	r := tensor.New(y.Shape...)
+	for i := range r.Data {
+		r.Data[i] = xorshift.IndexedNormal(777, uint64(i))
+	}
+	loss := func() float64 {
+		return tensor.Dot(layer.Forward(x, true), r)
+	}
+	// Analytic gradients.
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	layer.Forward(x, true)
+	dx := layer.Backward(r)
+
+	const eps = 1e-2
+	// Check input gradient on a sample of elements.
+	stride := len(x.Data)/50 + 1
+	for i := 0; i < len(x.Data); i += stride {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dx.Data[i])
+		if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("%s: input grad[%d]: analytic %v vs numeric %v", layer.Name(), i, analytic, numeric)
+		}
+	}
+	// Check parameter gradients on a sample of elements.
+	for _, p := range layer.Params() {
+		pstride := len(p.Value.Data)/30 + 1
+		for i := 0; i < len(p.Value.Data); i += pstride {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := loss()
+			p.Value.Data[i] = orig - eps
+			lm := loss()
+			p.Value.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(p.Grad.Data[i])
+			if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("%s: param %s grad[%d]: analytic %v vs numeric %v", layer.Name(), p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+func randInput(seed uint64, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedNormal(seed, uint64(i))
+	}
+	return x
+}
+
+func TestGradCheckLinear(t *testing.T) {
+	gradCheck(t, NewLinear("fc", 1, 6, 4), randInput(10, 5, 6), 2e-2)
+}
+
+func TestGradCheckLinearNoBias(t *testing.T) {
+	gradCheck(t, NewLinearNoBias("fcnb", 1, 5, 3), randInput(11, 4, 5), 2e-2)
+}
+
+func TestGradCheckConv2D(t *testing.T) {
+	gradCheck(t, NewConv2D("conv", 2, 2, 3, 3, 1, 1), randInput(12, 2, 2, 5, 5), 3e-2)
+}
+
+func TestGradCheckConv2DStride2NoBias(t *testing.T) {
+	gradCheck(t, NewConv2DNoBias("conv2", 2, 2, 3, 3, 2, 1), randInput(13, 2, 2, 6, 6), 3e-2)
+}
+
+func TestGradCheckReLU(t *testing.T) {
+	gradCheck(t, NewReLU("relu"), randInput(14, 3, 7), 2e-2)
+}
+
+func TestGradCheckPReLU(t *testing.T) {
+	gradCheck(t, NewPReLU("prelu", 3), randInput(15, 3, 7), 2e-2)
+}
+
+func TestGradCheckBatchNorm2D(t *testing.T) {
+	gradCheck(t, NewBatchNorm("bn", 4, 3), randInput(16, 2, 3, 4, 4), 5e-2)
+}
+
+func TestGradCheckBatchNorm1D(t *testing.T) {
+	gradCheck(t, NewBatchNorm("bn1", 5, 6), randInput(17, 8, 6), 5e-2)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	// Spread values so eps perturbations cannot flip argmax decisions.
+	x := randInput(18, 1, 2, 4, 4)
+	tensor.ScaleInPlace(x, 10)
+	gradCheck(t, NewMaxPool2D("mp", 2, 2), x, 2e-2)
+}
+
+func TestGradCheckAvgPool(t *testing.T) {
+	gradCheck(t, NewAvgPool2D("ap", 2, 2), randInput(19, 1, 2, 4, 4), 2e-2)
+}
+
+func TestGradCheckGlobalAvgPool(t *testing.T) {
+	gradCheck(t, NewGlobalAvgPool2D("gap"), randInput(20, 2, 3, 4, 4), 2e-2)
+}
+
+func TestGradCheckSequential(t *testing.T) {
+	seq := NewSequential("mlp",
+		NewLinear("mlp/fc1", 6, 5, 8),
+		NewReLU("mlp/r1"),
+		NewLinear("mlp/fc2", 6, 8, 3),
+	)
+	gradCheck(t, seq, randInput(21, 4, 5), 3e-2)
+}
+
+func TestGradCheckResidualIdentity(t *testing.T) {
+	body := NewSequential("res/body",
+		NewLinear("res/fc1", 7, 6, 6),
+		NewReLU("res/r"),
+	)
+	gradCheck(t, NewResidual("res", body, nil), randInput(22, 3, 6), 3e-2)
+}
+
+func TestGradCheckResidualProjection(t *testing.T) {
+	body := NewConv2DNoBias("rb/c1", 8, 2, 4, 3, 1, 1)
+	short := NewConv2DNoBias("rb/sc", 8, 2, 4, 1, 1, 0)
+	gradCheck(t, NewResidual("rb", body, short), randInput(23, 2, 2, 4, 4), 3e-2)
+}
+
+func TestGradCheckDenseBlock(t *testing.T) {
+	g := 2
+	u0 := NewConv2DNoBias("db/u0", 9, 3, g, 3, 1, 1)
+	u1 := NewConv2DNoBias("db/u1", 9, 3+g, g, 3, 1, 1)
+	db := NewDenseBlock("db", 3, g, u0, u1)
+	gradCheck(t, db, randInput(24, 2, 3, 4, 4), 3e-2)
+}
+
+func TestGradCheckFlattenChain(t *testing.T) {
+	seq := NewSequential("fc",
+		NewFlatten("fc/flat"),
+		NewLinear("fc/out", 25, 12, 4),
+	)
+	gradCheck(t, seq, randInput(25, 3, 3, 2, 2), 3e-2)
+}

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// TestBatchNormEvalApproximatesTrainAfterConvergence drives many training
+// batches from a fixed distribution and checks the eval-mode output
+// converges to the train-mode output.
+func TestBatchNormEvalApproximatesTrainAfterConvergence(t *testing.T) {
+	bn := NewBatchNorm("cvg/bn", 1, 4)
+	var lastTrain *tensor.Tensor
+	x := randInput(91, 32, 4)
+	tensor.ScaleInPlace(x, 3)
+	for i := 0; i < 300; i++ {
+		lastTrain = bn.Forward(x, true)
+	}
+	evalOut := bn.Forward(x, false)
+	for i := range evalOut.Data {
+		if math.Abs(float64(evalOut.Data[i]-lastTrain.Data[i])) > 0.05 {
+			t.Fatalf("eval output %v differs from converged train output %v at %d",
+				evalOut.Data[i], lastTrain.Data[i], i)
+		}
+	}
+}
+
+func TestBatchNorm4DNormalizesPerChannel(t *testing.T) {
+	bn := NewBatchNorm("c4/bn", 2, 3)
+	x := randInput(92, 4, 3, 5, 5)
+	// Shift channel 1 strongly.
+	for n := 0; n < 4; n++ {
+		for h := 0; h < 5; h++ {
+			for w := 0; w < 5; w++ {
+				x.Set(x.At(n, 1, h, w)+100, n, 1, h, w)
+			}
+		}
+	}
+	y := bn.Forward(x, true)
+	// Channel 1's post-norm mean must be ~0 despite the +100 shift.
+	var sum float64
+	for n := 0; n < 4; n++ {
+		for h := 0; h < 5; h++ {
+			for w := 0; w < 5; w++ {
+				sum += float64(y.At(n, 1, h, w))
+			}
+		}
+	}
+	if mean := sum / 100; math.Abs(mean) > 1e-4 {
+		t.Fatalf("channel 1 mean after BN = %v, want ~0", mean)
+	}
+}
+
+func TestDeepCompositeNetworkGradientFlow(t *testing.T) {
+	// A network exercising every container type at once: Sequential,
+	// Residual with projection, DenseBlock, pooling and BN. A step must
+	// produce non-zero gradients in every parameter tensor.
+	seed := uint64(93)
+	db := NewDenseBlock("deep/db", 4, 2,
+		NewConv2DNoBias("deep/db/u0", seed, 4, 2, 3, 1, 1),
+		NewConv2DNoBias("deep/db/u1", seed, 6, 2, 3, 1, 1),
+	)
+	res := NewResidual("deep/res",
+		NewSequential("deep/res/body",
+			NewBatchNorm("deep/res/bn", seed, 8),
+			NewReLU("deep/res/relu"),
+			NewConv2DNoBias("deep/res/conv", seed, 8, 8, 3, 1, 1),
+		), nil)
+	net := NewSequential("deep",
+		NewConv2D("deep/stem", seed, 1, 4, 3, 1, 1),
+		db,
+		res,
+		NewMaxPool2D("deep/pool", 2, 2),
+		NewGlobalAvgPool2D("deep/gap"),
+		NewLinear("deep/fc", seed, 8, 3),
+	)
+	m := NewModel(net, seed)
+	x := randInput(94, 2, 1, 8, 8)
+	loss, _ := m.Step(x, []int{0, 2})
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	for _, p := range m.Set.Params() {
+		var nonzero bool
+		for _, g := range p.Grad.Data {
+			if g != 0 {
+				nonzero = true
+				break
+			}
+		}
+		if !nonzero {
+			t.Errorf("parameter %s received no gradient", p.Name)
+		}
+	}
+}
+
+func TestSequentialGradCheckWithBNAndPool(t *testing.T) {
+	// No ReLU in this chain: BN centers activations at zero, where the
+	// ReLU kink makes finite differences meaningless. The smooth
+	// conv→BN→pool→fc composition checks cross-layer gradient routing.
+	seed := uint64(95)
+	net := NewSequential("gc",
+		NewConv2DNoBias("gc/conv", seed, 2, 3, 3, 1, 1),
+		NewBatchNorm("gc/bn", seed, 3),
+		NewAvgPool2D("gc/pool", 2, 2),
+		NewFlatten("gc/flat"),
+		NewLinear("gc/fc", seed, 12, 2),
+	)
+	gradCheck(t, net, randInput(96, 2, 2, 4, 4), 6e-2)
+}
+
+func TestWalkVisitsAllContainers(t *testing.T) {
+	seed := uint64(97)
+	inner := NewSequential("w/in", NewReLU("w/r1"))
+	res := NewResidual("w/res", inner, nil)
+	db := NewDenseBlock("w/db", 1, 1, NewConv2DNoBias("w/db/u0", seed, 1, 1, 3, 1, 1))
+	root := NewSequential("w", res, db)
+	var names []string
+	Walk(root, func(l Layer) { names = append(names, l.Name()) })
+	want := map[string]bool{
+		"w": false, "w/res": false, "w/in": false, "w/r1": false,
+		"w/res/id": false, "w/db": false, "w/db/u0": false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("Walk missed layer %q", n)
+		}
+	}
+}
+
+func TestParamInitRegenerationProperty(t *testing.T) {
+	// Property: for any fresh parameter, value[i] == Init.Regenerate(i).
+	f := func(seed uint64, dims uint8) bool {
+		n := int(dims)%64 + 1
+		p := NewParam("prop/p", seed, xorshift.InitScaledNormal, 0.1, n)
+		for i := 0; i < n; i++ {
+			if p.Value.Data[i] != p.Init.Regenerate(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvRectangularInput(t *testing.T) {
+	// Non-square spatial dims through conv + pool + backward.
+	c := NewConv2D("rect/conv", 98, 1, 2, 3, 1, 1)
+	x := randInput(99, 1, 1, 6, 10)
+	y := c.Forward(x, true)
+	if y.Shape[2] != 6 || y.Shape[3] != 10 {
+		t.Fatalf("conv output shape %v", y.Shape)
+	}
+	dy := randInput(100, 1, 2, 6, 10)
+	dx := c.Backward(dy)
+	if !dx.SameShape(x) {
+		t.Fatalf("backward shape %v, want %v", dx.Shape, x.Shape)
+	}
+	mp := NewMaxPool2D("rect/mp", 2, 2)
+	py := mp.Forward(y, true)
+	if py.Shape[2] != 3 || py.Shape[3] != 5 {
+		t.Fatalf("pool output shape %v", py.Shape)
+	}
+}
+
+func TestBatchSizeOneTraining(t *testing.T) {
+	// Degenerate batch of one sample must work through the whole stack
+	// (BN with spatial extent still has >1 normalization element).
+	seed := uint64(101)
+	net := NewSequential("b1",
+		NewConv2DNoBias("b1/conv", seed, 1, 2, 3, 1, 1),
+		NewBatchNorm("b1/bn", seed, 2),
+		NewReLU("b1/r"),
+		NewGlobalAvgPool2D("b1/gap"),
+		NewLinear("b1/fc", seed, 2, 2),
+	)
+	m := NewModel(net, seed)
+	loss, _ := m.Step(randInput(102, 1, 1, 4, 4), []int{1})
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("batch-1 loss = %v", loss)
+	}
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward caches whatever it
+// needs for the matching Backward call; Backward consumes the gradient with
+// respect to its output and returns the gradient with respect to its input,
+// accumulating parameter gradients into each Param's Grad buffer.
+//
+// Layers are single-use per step: Forward then Backward, in that order.
+type Layer interface {
+	// Name returns the layer's unique name within its model.
+	Name() string
+	// Forward computes the layer output. train selects training behaviour
+	// (batch statistics, dropout sampling); inference uses running
+	// statistics and identity dropout.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates dy (gradient w.r.t. Forward's output) to the
+	// input, accumulating parameter gradients.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// Identity passes its input through unchanged; it is the default shortcut
+// branch of a residual block.
+type Identity struct{ name string }
+
+// NewIdentity returns an identity layer.
+func NewIdentity(name string) *Identity { return &Identity{name: name} }
+
+// Name implements Layer.
+func (l *Identity) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+
+// Backward implements Layer.
+func (l *Identity) Backward(dy *tensor.Tensor) *tensor.Tensor { return dy }
+
+// Params implements Layer.
+func (l *Identity) Params() []*Param { return nil }
+
+// Flatten reshapes (N, ...) activations to (N, D) for the transition from
+// convolutional to fully connected stages.
+type Flatten struct {
+	name    string
+	inShape []int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, -1)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(l.inShape...)
+}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Sequential chains layers, feeding each one's output to the next.
+type Sequential struct {
+	name   string
+	layers []Layer
+}
+
+// NewSequential returns a sequential container over the given layers.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.name }
+
+// Layers returns the contained layers in order.
+func (s *Sequential) Layers() []Layer { return s.layers }
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		dy = s.layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Residual computes Body(x) + Shortcut(x) — the building block of wide
+// residual networks. The shortcut defaults to identity; WRN uses a 1×1
+// convolution when channel counts or strides differ.
+type Residual struct {
+	name     string
+	Body     Layer
+	Shortcut Layer
+}
+
+// NewResidual returns a residual block. A nil shortcut means identity.
+func NewResidual(name string, body, shortcut Layer) *Residual {
+	if shortcut == nil {
+		shortcut = NewIdentity(name + "/id")
+	}
+	return &Residual{name: name, Body: body, Shortcut: shortcut}
+}
+
+// Name implements Layer.
+func (r *Residual) Name() string { return r.name }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b := r.Body.Forward(x, train)
+	s := r.Shortcut.Forward(x, train)
+	if !b.SameShape(s) {
+		panic(fmt.Sprintf("nn: residual %q branch shapes differ: %v vs %v", r.name, b.Shape, s.Shape))
+	}
+	return tensor.Add(b, s)
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	db := r.Body.Backward(dy)
+	ds := r.Shortcut.Backward(dy)
+	return tensor.Add(db, ds)
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param {
+	return append(r.Body.Params(), r.Shortcut.Params()...)
+}
+
+// Walk visits root and every layer nested inside the standard containers
+// (Sequential, Residual, DenseBlock), depth-first in forward order. Tools
+// that need to find layers of a given type (batch norms for slimming,
+// variational layers for VD coordination) use this.
+func Walk(root Layer, fn func(Layer)) {
+	fn(root)
+	switch t := root.(type) {
+	case *Sequential:
+		for _, c := range t.Layers() {
+			Walk(c, fn)
+		}
+	case *Residual:
+		Walk(t.Body, fn)
+		Walk(t.Shortcut, fn)
+	case *DenseBlock:
+		for _, u := range t.Units {
+			Walk(u, fn)
+		}
+	}
+}

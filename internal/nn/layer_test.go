@@ -1,0 +1,331 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/tensor"
+)
+
+func TestReLUForward(t *testing.T) {
+	r := NewReLU("r")
+	x := tensor.FromSlice([]float32{-1, 0, 2}, 1, 3)
+	y := r.Forward(x, true)
+	want := []float32{0, 0, 2}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("ReLU output %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestPReLUForwardUsesSlope(t *testing.T) {
+	p := NewPReLU("p", 1)
+	x := tensor.FromSlice([]float32{-4, 4}, 1, 2)
+	y := p.Forward(x, true)
+	if y.Data[0] != -1 || y.Data[1] != 4 { // slope 0.25
+		t.Fatalf("PReLU output %v, want [-1 4]", y.Data)
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout("d", 1, 0.5)
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	y := d.Forward(x, false)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutTrainDropsAndScales(t *testing.T) {
+	d := NewDropout("d2", 7, 0.5)
+	x := tensor.Full(1, 1, 10000)
+	y := d.Forward(x, true)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/(1-0.5)
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("drop fraction = %v, want ~0.5", frac)
+	}
+	if scaled == 0 {
+		t.Fatal("no survivors scaled")
+	}
+}
+
+func TestDropoutBackwardUsesSameMask(t *testing.T) {
+	d := NewDropout("d3", 9, 0.3)
+	x := tensor.Full(1, 1, 100)
+	y := d.Forward(x, true)
+	dy := tensor.Full(1, 1, 100)
+	dx := d.Backward(dy)
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutDeterministicAcrossRuns(t *testing.T) {
+	a := NewDropout("da", 5, 0.4)
+	b := NewDropout("db", 5, 0.4)
+	x := tensor.Full(1, 1, 256)
+	ya := a.Forward(x, true)
+	yb := b.Forward(x, true)
+	for i := range ya.Data {
+		if ya.Data[i] != yb.Data[i] {
+			t.Fatal("same-seed dropout layers must sample identically")
+		}
+	}
+}
+
+func TestDropoutBadProbabilityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=1")
+		}
+	}()
+	NewDropout("bad", 1, 1)
+}
+
+func TestBatchNormTrainNormalizes(t *testing.T) {
+	bn := NewBatchNorm("bn", 1, 3)
+	x := randInput(40, 16, 3)
+	tensor.ScaleInPlace(x, 5)
+	for i := range x.Data {
+		x.Data[i] += 10
+	}
+	y := bn.Forward(x, true)
+	// Each output channel must have ~0 mean and ~1 std (gamma=1, beta=0).
+	for c := 0; c < 3; c++ {
+		var sum, sumSq float64
+		for n := 0; n < 16; n++ {
+			v := float64(y.At(n, c))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / 16
+		variance := sumSq/16 - mean*mean
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("channel %d mean = %v, want ~0", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d var = %v, want ~1", c, variance)
+		}
+	}
+}
+
+func TestBatchNormRunningStatsConverge(t *testing.T) {
+	bn := NewBatchNorm("bn2", 2, 2)
+	// Feed constant-statistics batches; running stats must approach them.
+	x := tensor.New(64, 2)
+	for n := 0; n < 64; n++ {
+		x.Set(float32(3+0.1*float64(n%8)), n, 0) // mean ~3.35
+		x.Set(-2, n, 1)                          // mean -2, var 0
+	}
+	for i := 0; i < 200; i++ {
+		bn.Forward(x, true)
+	}
+	if math.Abs(float64(bn.RunningMean[1])+2) > 1e-2 {
+		t.Fatalf("running mean[1] = %v, want ~-2", bn.RunningMean[1])
+	}
+	if bn.RunningVar[1] > 1e-2 {
+		t.Fatalf("running var[1] = %v, want ~0", bn.RunningVar[1])
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm("bn3", 3, 2)
+	bn.RunningMean[0] = 5
+	bn.RunningVar[0] = 4
+	x := tensor.New(1, 2)
+	x.Set(7, 0, 0)
+	y := bn.Forward(x, false)
+	// (7-5)/sqrt(4+eps) ≈ 1.
+	if math.Abs(float64(y.At(0, 0))-1) > 1e-3 {
+		t.Fatalf("eval BN output = %v, want ~1", y.At(0, 0))
+	}
+}
+
+func TestBatchNormRejectsWrongChannels(t *testing.T) {
+	bn := NewBatchNorm("bn4", 4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong channel count")
+		}
+	}()
+	bn.Forward(tensor.New(2, 5), true)
+}
+
+func TestMaxPoolForwardValues(t *testing.T) {
+	mp := NewMaxPool2D("mp", 2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	y := mp.Forward(x, true)
+	want := []float32{4, 8, 12, 16}
+	for i, w := range want {
+		if y.Data[i] != w {
+			t.Fatalf("maxpool output %v, want %v", y.Data, want)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRoutesToArgmax(t *testing.T) {
+	mp := NewMaxPool2D("mp2", 2, 2)
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	mp.Forward(x, true)
+	dx := mp.Backward(tensor.FromSlice([]float32{10}, 1, 1, 1, 1))
+	want := []float32{0, 0, 0, 10}
+	for i, w := range want {
+		if dx.Data[i] != w {
+			t.Fatalf("maxpool backward %v, want %v", dx.Data, want)
+		}
+	}
+}
+
+func TestAvgPoolForwardValues(t *testing.T) {
+	ap := NewAvgPool2D("ap", 2, 2)
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	y := ap.Forward(x, true)
+	if y.Data[0] != 2.5 {
+		t.Fatalf("avgpool output %v, want 2.5", y.Data[0])
+	}
+}
+
+func TestGlobalAvgPoolShape(t *testing.T) {
+	gap := NewGlobalAvgPool2D("gap")
+	x := tensor.Full(3, 2, 5, 4, 4)
+	y := gap.Forward(x, true)
+	if y.Dims() != 2 || y.Dim(0) != 2 || y.Dim(1) != 5 {
+		t.Fatalf("gap shape = %v, want (2,5)", y.Shape)
+	}
+	if y.Data[0] != 3 {
+		t.Fatalf("gap value = %v, want 3", y.Data[0])
+	}
+}
+
+func TestConcatSplitChannelsRoundTrip(t *testing.T) {
+	a := randInput(50, 2, 3, 4, 4)
+	b := randInput(51, 2, 5, 4, 4)
+	cat := ConcatChannels(a, b)
+	if cat.Shape[1] != 8 {
+		t.Fatalf("concat channels = %d, want 8", cat.Shape[1])
+	}
+	parts := SplitChannels(cat, 3, 5)
+	for i := range a.Data {
+		if parts[0].Data[i] != a.Data[i] {
+			t.Fatal("split part 0 mismatch")
+		}
+	}
+	for i := range b.Data {
+		if parts[1].Data[i] != b.Data[i] {
+			t.Fatal("split part 1 mismatch")
+		}
+	}
+}
+
+func TestSplitChannelsWidthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong widths")
+		}
+	}()
+	SplitChannels(tensor.New(1, 4, 2, 2), 3, 2)
+}
+
+func TestConcatChannelsMismatchPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched spatial dims")
+		}
+	}()
+	ConcatChannels(tensor.New(1, 2, 4, 4), tensor.New(1, 2, 3, 3))
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten("f")
+	x := randInput(60, 2, 3, 4, 4)
+	y := f.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 48 {
+		t.Fatalf("flatten shape = %v", y.Shape)
+	}
+	dx := f.Backward(y)
+	if !dx.SameShape(x) {
+		t.Fatalf("flatten backward shape = %v, want %v", dx.Shape, x.Shape)
+	}
+}
+
+func TestResidualShapeMismatchPanics(t *testing.T) {
+	body := NewLinear("rx/fc", 1, 4, 3)
+	r := NewResidual("rx", body, nil) // identity shortcut keeps width 4
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for branch shape mismatch")
+		}
+	}()
+	r.Forward(tensor.New(2, 4), true)
+}
+
+func TestIdentityPassThrough(t *testing.T) {
+	id := NewIdentity("id")
+	x := tensor.Full(7, 2, 2)
+	if id.Forward(x, true) != x {
+		t.Fatal("identity Forward must return its input")
+	}
+	if id.Backward(x) != x {
+		t.Fatal("identity Backward must return its input")
+	}
+	if id.Params() != nil {
+		t.Fatal("identity has no params")
+	}
+}
+
+func TestTrainingReducesLossOnToyProblem(t *testing.T) {
+	// End-to-end sanity: a tiny MLP must learn a linearly separable task
+	// with plain SGD updates applied by hand.
+	net := NewSequential("toy",
+		NewLinear("toy/fc1", 77, 2, 16),
+		NewReLU("toy/r"),
+		NewLinear("toy/fc2", 77, 16, 2),
+	)
+	m := NewModel(net, 77)
+	x := tensor.New(32, 2)
+	labels := make([]int, 32)
+	for i := 0; i < 32; i++ {
+		if i%2 == 0 {
+			x.Set(1, i, 0)
+			labels[i] = 0
+		} else {
+			x.Set(1, i, 1)
+			labels[i] = 1
+		}
+	}
+	first, _ := m.Step(x, labels)
+	for it := 0; it < 200; it++ {
+		m.Step(x, labels)
+		for _, p := range m.Set.Params() {
+			tensor.AXPY(-0.5, p.Grad, p.Value)
+		}
+	}
+	last, acc := m.Eval(x, labels)
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	if acc != 1 {
+		t.Fatalf("toy accuracy = %v, want 1", acc)
+	}
+}

@@ -1,0 +1,83 @@
+package nn
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// Linear is a fully connected layer computing y = x Wᵀ + b for x of shape
+// (N, In), with W stored (Out, In) and b of length Out. Weights use the
+// LeCun scaled-normal initialization the paper trains with; biases start at
+// zero (and are regenerated to zero when untracked).
+type Linear struct {
+	name   string
+	In     int
+	Out    int
+	W      *Param
+	B      *Param
+	x      *tensor.Tensor // cached forward input
+	useBia bool
+}
+
+// NewLinear builds a fully connected layer named name with the given fan-in
+// and fan-out, seeded from the model seed.
+func NewLinear(name string, modelSeed uint64, in, out int) *Linear {
+	return &Linear{
+		name:   name,
+		In:     in,
+		Out:    out,
+		W:      NewParam(name+"/W", modelSeed, xorshift.InitScaledNormal, xorshift.LeCunScale(in), out, in),
+		B:      NewParam(name+"/b", modelSeed, xorshift.InitZero, 0, out),
+		useBia: true,
+	}
+}
+
+// NewLinearNoBias builds a fully connected layer without a bias term.
+func NewLinearNoBias(name string, modelSeed uint64, in, out int) *Linear {
+	l := NewLinear(name, modelSeed, in, out)
+	l.useBia = false
+	l.B = nil
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 2 || x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: linear %q expected (N,%d) input, got %v", l.name, l.In, x.Shape))
+	}
+	l.x = x
+	y := tensor.MatMulTransB(x, l.W.Value)
+	if l.useBia {
+		tensor.AddRowVector(y, l.B.Value)
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.x == nil {
+		panic(fmt.Sprintf("nn: linear %q Backward before Forward", l.name))
+	}
+	// dW = dyᵀ @ x  — shapes (Out,N)ᵀ-free via MatMulTransA(dy, x).
+	dW := tensor.MatMulTransA(dy, l.x) // (Out, In)
+	tensor.AddInPlace(l.W.Grad, dW)
+	if l.useBia {
+		db := tensor.ColSums(dy)
+		tensor.AddInPlace(l.B.Grad, db)
+	}
+	// dx = dy @ W — (N, Out) @ (Out, In).
+	return tensor.MatMul(dy, l.W.Value)
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param {
+	if l.useBia {
+		return []*Param{l.W, l.B}
+	}
+	return []*Param{l.W}
+}

@@ -1,0 +1,66 @@
+package nn
+
+import "dropback/internal/tensor"
+
+// SoftmaxCrossEntropy couples the softmax activation with the negative
+// log-likelihood loss, yielding the numerically stable fused gradient
+// (probs − onehot)/N with respect to the logits.
+type SoftmaxCrossEntropy struct {
+	probs  *tensor.Tensor
+	labels []int
+}
+
+// Forward computes mean loss and accuracy for logits (N, C) against labels.
+func (l *SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (loss float64, acc float64) {
+	l.probs = tensor.SoftmaxRows(logits)
+	l.labels = labels
+	loss, _ = tensor.CrossEntropyFromProbs(l.probs, labels)
+	return loss, tensor.Accuracy(logits, labels)
+}
+
+// Backward returns dLoss/dlogits for the most recent Forward call.
+func (l *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
+	if l.probs == nil {
+		panic("nn: SoftmaxCrossEntropy Backward before Forward")
+	}
+	_, dlogits := tensor.CrossEntropyFromProbs(l.probs, l.labels)
+	return dlogits
+}
+
+// Model bundles a network body with its loss and parameter set — the unit
+// the optimizers and pruners operate on.
+type Model struct {
+	// Net is the network body mapping inputs to logits.
+	Net Layer
+	// Loss is the classification loss head.
+	Loss SoftmaxCrossEntropy
+	// Set is the flat parameter address space of Net.
+	Set *ParamSet
+	// Seed is the model seed all parameter initializations derive from.
+	Seed uint64
+}
+
+// NewModel wraps a network body, building its parameter set.
+func NewModel(net Layer, seed uint64) *Model {
+	return &Model{Net: net, Set: NewParamSet(net), Seed: seed}
+}
+
+// Step runs one forward/backward pass on a batch, leaving gradients in the
+// parameter Grad buffers (after zeroing them first). It returns the batch
+// loss and accuracy.
+func (m *Model) Step(x *tensor.Tensor, labels []int) (loss, acc float64) {
+	m.Set.ZeroGrads()
+	logits := m.Net.Forward(x, true)
+	loss, acc = m.Loss.Forward(logits, labels)
+	m.Net.Backward(m.Loss.Backward())
+	return loss, acc
+}
+
+// Eval runs inference on a batch and returns loss and accuracy without
+// touching gradients.
+func (m *Model) Eval(x *tensor.Tensor, labels []int) (loss, acc float64) {
+	logits := m.Net.Forward(x, false)
+	probs := tensor.SoftmaxRows(logits)
+	loss, _ = tensor.CrossEntropyFromProbs(probs, labels)
+	return loss, tensor.Accuracy(logits, labels)
+}

@@ -1,0 +1,234 @@
+package nn
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+)
+
+// MaxPool2D applies k×k max pooling with the given stride over (N, C, H, W)
+// activations. Backward routes each output gradient to the argmax input
+// position recorded during Forward.
+type MaxPool2D struct {
+	name    string
+	K       int
+	Stride  int
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2D returns a max-pooling layer.
+func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
+	if k <= 0 || stride <= 0 {
+		panic("nn: pooling kernel and stride must be positive")
+	}
+	return &MaxPool2D{name: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (l *MaxPool2D) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: maxpool %q expected 4-D input, got %v", l.name, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOutSize(h, l.K, l.Stride, 0)
+	ow := tensor.ConvOutSize(w, l.K, l.Stride, 0)
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	y := tensor.New(n, c, oh, ow)
+	if cap(l.argmax) < y.Len() {
+		l.argmax = make([]int, y.Len())
+	}
+	l.argmax = l.argmax[:y.Len()]
+	oi := 0
+	for ncIdx := 0; ncIdx < n*c; ncIdx++ {
+		plane := x.Data[ncIdx*h*w : (ncIdx+1)*h*w]
+		for py := 0; py < oh; py++ {
+			for px := 0; px < ow; px++ {
+				bestIdx := (py*l.Stride)*w + px*l.Stride
+				best := plane[bestIdx]
+				for ky := 0; ky < l.K; ky++ {
+					iy := py*l.Stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < l.K; kx++ {
+						ix := px*l.Stride + kx
+						if ix >= w {
+							break
+						}
+						idx := iy*w + ix
+						if plane[idx] > best {
+							best = plane[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				y.Data[oi] = best
+				l.argmax[oi] = ncIdx*h*w + bestIdx
+				oi++
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(l.inShape...)
+	for i, g := range dy.Data {
+		dx.Data[l.argmax[i]] += g
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *MaxPool2D) Params() []*Param { return nil }
+
+// AvgPool2D applies k×k average pooling with the given stride.
+type AvgPool2D struct {
+	name    string
+	K       int
+	Stride  int
+	inShape []int
+}
+
+// NewAvgPool2D returns an average-pooling layer.
+func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
+	if k <= 0 || stride <= 0 {
+		panic("nn: pooling kernel and stride must be positive")
+	}
+	return &AvgPool2D{name: name, K: k, Stride: stride}
+}
+
+// Name implements Layer.
+func (l *AvgPool2D) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: avgpool %q expected 4-D input, got %v", l.name, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := tensor.ConvOutSize(h, l.K, l.Stride, 0)
+	ow := tensor.ConvOutSize(w, l.K, l.Stride, 0)
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	y := tensor.New(n, c, oh, ow)
+	inv := 1 / float32(l.K*l.K)
+	oi := 0
+	for ncIdx := 0; ncIdx < n*c; ncIdx++ {
+		plane := x.Data[ncIdx*h*w : (ncIdx+1)*h*w]
+		for py := 0; py < oh; py++ {
+			for px := 0; px < ow; px++ {
+				var s float32
+				for ky := 0; ky < l.K; ky++ {
+					iy := py*l.Stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < l.K; kx++ {
+						ix := px*l.Stride + kx
+						if ix >= w {
+							break
+						}
+						s += plane[iy*w+ix]
+					}
+				}
+				y.Data[oi] = s * inv
+				oi++
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
+	oh := tensor.ConvOutSize(h, l.K, l.Stride, 0)
+	ow := tensor.ConvOutSize(w, l.K, l.Stride, 0)
+	dx := tensor.New(l.inShape...)
+	inv := 1 / float32(l.K*l.K)
+	oi := 0
+	for ncIdx := 0; ncIdx < n*c; ncIdx++ {
+		plane := dx.Data[ncIdx*h*w : (ncIdx+1)*h*w]
+		for py := 0; py < oh; py++ {
+			for px := 0; px < ow; px++ {
+				g := dy.Data[oi] * inv
+				oi++
+				for ky := 0; ky < l.K; ky++ {
+					iy := py*l.Stride + ky
+					if iy >= h {
+						break
+					}
+					for kx := 0; kx < l.K; kx++ {
+						ix := px*l.Stride + kx
+						if ix >= w {
+							break
+						}
+						plane[iy*w+ix] += g
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *AvgPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool2D averages each channel's full spatial plane, producing
+// (N, C) activations — the standard head of DenseNet and WRN.
+type GlobalAvgPool2D struct {
+	name    string
+	inShape []int
+}
+
+// NewGlobalAvgPool2D returns a global average-pooling layer.
+func NewGlobalAvgPool2D(name string) *GlobalAvgPool2D {
+	return &GlobalAvgPool2D{name: name}
+}
+
+// Name implements Layer.
+func (l *GlobalAvgPool2D) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: global avgpool %q expected 4-D input, got %v", l.name, x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	l.inShape = append(l.inShape[:0], x.Shape...)
+	y := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n*c; i++ {
+		var s float64
+		plane := x.Data[i*h*w : (i+1)*h*w]
+		for _, v := range plane {
+			s += float64(v)
+		}
+		y.Data[i] = float32(s) * inv
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *GlobalAvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
+	dx := tensor.New(l.inShape...)
+	inv := 1 / float32(h*w)
+	for i := 0; i < n*c; i++ {
+		g := dy.Data[i] * inv
+		plane := dx.Data[i*h*w : (i+1)*h*w]
+		for j := range plane {
+			plane[j] = g
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *GlobalAvgPool2D) Params() []*Param { return nil }

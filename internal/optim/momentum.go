@@ -1,0 +1,117 @@
+package optim
+
+import (
+	"math"
+
+	"dropback/internal/nn"
+)
+
+// The paper trains everything with plain SGD because "all other
+// optimization strategies cost significant extra memory" (§3): momentum
+// keeps one extra float per weight, Adam keeps two — state that would
+// defeat DropBack's weight-memory savings. These implementations exist to
+// quantify that claim (see StateBytes) and to let users trade memory for
+// convergence when the budget allows.
+
+// StatefulOptimizer is an optimizer whose per-parameter state memory can be
+// audited.
+type StatefulOptimizer interface {
+	// Step applies one update using the gradients in the set.
+	Step(set *nn.ParamSet)
+	// StateBytes reports the optimizer's per-parameter state footprint in
+	// bytes (0 for plain SGD).
+	StateBytes() int
+}
+
+// StateBytes implements StatefulOptimizer for plain SGD: no state.
+func (o *SGD) StateBytes() int { return 0 }
+
+// Momentum is SGD with classical momentum: v ← µ·v + g; w ← w − lr·v.
+// It stores one float32 per weight.
+type Momentum struct {
+	LR float32
+	Mu float32
+	v  map[*nn.Param][]float32
+}
+
+// NewMomentum returns a momentum optimizer (µ = 0.9 unless set otherwise).
+func NewMomentum(lr, mu float32) *Momentum {
+	return &Momentum{LR: lr, Mu: mu, v: make(map[*nn.Param][]float32)}
+}
+
+// Step implements StatefulOptimizer.
+func (o *Momentum) Step(set *nn.ParamSet) {
+	for _, p := range set.Params() {
+		v, ok := o.v[p]
+		if !ok {
+			v = make([]float32, p.Len())
+			o.v[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = o.Mu*v[i] + g
+			p.Value.Data[i] -= o.LR * v[i]
+		}
+	}
+}
+
+// StateBytes implements StatefulOptimizer.
+func (o *Momentum) StateBytes() int {
+	n := 0
+	for _, v := range o.v {
+		n += 4 * len(v)
+	}
+	return n
+}
+
+// Adam is the Kingma & Ba adaptive optimizer. It stores two float32 values
+// per weight (first and second moment).
+type Adam struct {
+	LR      float32
+	Beta1   float32
+	Beta2   float32
+	Epsilon float32
+	t       int
+	m       map[*nn.Param][]float32
+	v       map[*nn.Param][]float32
+}
+
+// NewAdam returns an Adam optimizer with the standard defaults.
+func NewAdam(lr float32) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*nn.Param][]float32),
+		v: make(map[*nn.Param][]float32),
+	}
+}
+
+// Step implements StatefulOptimizer.
+func (o *Adam) Step(set *nn.ParamSet) {
+	o.t++
+	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
+	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
+	for _, p := range set.Params() {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float32, p.Len())
+			o.m[p] = m
+			o.v[p] = make([]float32, p.Len())
+		}
+		v := o.v[p]
+		for i, g := range p.Grad.Data {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Value.Data[i] -= o.LR * mhat / (float32(math.Sqrt(float64(vhat))) + o.Epsilon)
+		}
+	}
+}
+
+// StateBytes implements StatefulOptimizer.
+func (o *Adam) StateBytes() int {
+	n := 0
+	for _, m := range o.m {
+		n += 8 * len(m) // m and v
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+package optim
+
+import "math"
+
+// Additional learning-rate schedules beyond the paper's step decay. The
+// experiments use StepDecay exclusively (matching §3); these exist for
+// library completeness and are exercised by tests.
+
+// Warmup linearly ramps the rate from zero over WarmupEpochs, then defers
+// to the wrapped schedule (evaluated on the post-warmup epoch index).
+type Warmup struct {
+	WarmupEpochs int
+	Then         Schedule
+}
+
+// At implements Schedule.
+func (w Warmup) At(epoch int) float32 {
+	if w.WarmupEpochs <= 0 || epoch >= w.WarmupEpochs {
+		return w.Then.At(epoch - w.WarmupEpochs)
+	}
+	target := w.Then.At(0)
+	return target * float32(epoch+1) / float32(w.WarmupEpochs)
+}
+
+// Cosine anneals the rate from Initial to Floor over TotalEpochs following
+// a half cosine, then holds at Floor.
+type Cosine struct {
+	Initial     float32
+	Floor       float32
+	TotalEpochs int
+}
+
+// At implements Schedule.
+func (c Cosine) At(epoch int) float32 {
+	if c.TotalEpochs <= 0 || epoch >= c.TotalEpochs {
+		return c.Floor
+	}
+	progress := float64(epoch) / float64(c.TotalEpochs)
+	scale := 0.5 * (1 + math.Cos(math.Pi*progress))
+	return c.Floor + (c.Initial-c.Floor)*float32(scale)
+}
+
+// Piecewise maps explicit epoch boundaries to rates: the rate of the last
+// boundary at or below the epoch applies (Boundaries must be ascending and
+// start at 0).
+type Piecewise struct {
+	Boundaries []int
+	Rates      []float32
+}
+
+// At implements Schedule.
+func (p Piecewise) At(epoch int) float32 {
+	if len(p.Boundaries) == 0 || len(p.Boundaries) != len(p.Rates) {
+		return 0
+	}
+	rate := p.Rates[0]
+	for i, b := range p.Boundaries {
+		if epoch >= b {
+			rate = p.Rates[i]
+		}
+	}
+	return rate
+}

@@ -1,0 +1,85 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWarmupRampsLinearly(t *testing.T) {
+	w := Warmup{WarmupEpochs: 4, Then: Constant(0.4)}
+	want := []float32{0.1, 0.2, 0.3, 0.4}
+	for e, v := range want {
+		if got := w.At(e); math.Abs(float64(got-v)) > 1e-6 {
+			t.Fatalf("At(%d) = %v, want %v", e, got, v)
+		}
+	}
+	// Post-warmup defers to the wrapped schedule on shifted epochs.
+	inner := StepDecay{Initial: 0.4, Factor: 0.5, Every: 2}
+	w = Warmup{WarmupEpochs: 4, Then: inner}
+	if got := w.At(6); got != inner.At(2) {
+		t.Fatalf("post-warmup At(6) = %v, want inner At(2) = %v", got, inner.At(2))
+	}
+}
+
+func TestWarmupZeroEpochs(t *testing.T) {
+	w := Warmup{WarmupEpochs: 0, Then: Constant(0.1)}
+	if w.At(0) != 0.1 {
+		t.Fatal("zero warmup must defer immediately")
+	}
+}
+
+func TestCosineEndpoints(t *testing.T) {
+	c := Cosine{Initial: 0.4, Floor: 0.01, TotalEpochs: 100}
+	if got := c.At(0); math.Abs(float64(got-0.4)) > 1e-6 {
+		t.Fatalf("At(0) = %v, want initial 0.4", got)
+	}
+	if got := c.At(100); got != 0.01 {
+		t.Fatalf("At(total) = %v, want floor", got)
+	}
+	if got := c.At(500); got != 0.01 {
+		t.Fatalf("beyond total = %v, want floor hold", got)
+	}
+	// Midpoint is the average of initial and floor.
+	mid := (0.4 + 0.01) / 2
+	if got := c.At(50); math.Abs(float64(got)-mid) > 1e-6 {
+		t.Fatalf("At(50) = %v, want %v", got, mid)
+	}
+}
+
+func TestCosineMonotoneDecreasing(t *testing.T) {
+	c := Cosine{Initial: 0.3, Floor: 0, TotalEpochs: 20}
+	prev := c.At(0)
+	for e := 1; e <= 20; e++ {
+		cur := c.At(e)
+		if cur > prev+1e-7 {
+			t.Fatalf("cosine increased at epoch %d: %v -> %v", e, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestCosineDegenerate(t *testing.T) {
+	c := Cosine{Initial: 0.5, Floor: 0.1, TotalEpochs: 0}
+	if c.At(0) != 0.1 {
+		t.Fatal("zero-length cosine must hold at floor")
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	p := Piecewise{Boundaries: []int{0, 10, 20}, Rates: []float32{0.4, 0.04, 0.004}}
+	cases := map[int]float32{0: 0.4, 9: 0.4, 10: 0.04, 19: 0.04, 20: 0.004, 99: 0.004}
+	for e, want := range cases {
+		if got := p.At(e); got != want {
+			t.Fatalf("At(%d) = %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestPiecewiseMalformed(t *testing.T) {
+	if (Piecewise{}).At(5) != 0 {
+		t.Fatal("empty piecewise must return 0")
+	}
+	if (Piecewise{Boundaries: []int{0}, Rates: []float32{0.1, 0.2}}).At(0) != 0 {
+		t.Fatal("mismatched piecewise must return 0")
+	}
+}

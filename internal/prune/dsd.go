@@ -1,0 +1,106 @@
+package prune
+
+import (
+	"fmt"
+
+	"dropback/internal/nn"
+)
+
+// DSD implements dense-sparse-dense training (Han et al. 2017), the
+// regularization technique §2.2 of the paper explicitly contrasts DropBack
+// with: "DSD repeatedly alternates sparse phases (where the lowest-
+// absolute-value weights are deleted) and dense refinement phases (where
+// all weights may be updated)". Unlike DropBack it trains the full dense
+// network first, needs dense weight memory throughout, and uses sparsity
+// only as a regularizer — the final model is dense.
+type DSD struct {
+	set *nn.ParamSet
+	// SparseFraction is the share of weights masked to zero during sparse
+	// phases (DSD's paper uses 30–50%).
+	SparseFraction float64
+	// phase tracks whether a sparse phase is active.
+	sparse bool
+	mask   []bool // keep-mask during sparse phases
+	scores []float32
+}
+
+// NewDSD builds a dense-sparse-dense scheduler over the parameter set.
+func NewDSD(set *nn.ParamSet, sparseFraction float64) *DSD {
+	if sparseFraction <= 0 || sparseFraction >= 1 {
+		panic(fmt.Sprintf("prune: DSD sparse fraction %v out of (0,1)", sparseFraction))
+	}
+	n := set.Total()
+	return &DSD{
+		set:            set,
+		SparseFraction: sparseFraction,
+		mask:           make([]bool, n),
+		scores:         make([]float32, n),
+	}
+}
+
+// Sparse reports whether a sparse phase is active.
+func (d *DSD) Sparse() bool { return d.sparse }
+
+// BeginSparsePhase selects the keep-mask (top-|w| by magnitude, like DSD's
+// pruning step) and zeroes the masked weights. Subsequent AfterStep calls
+// keep them at zero until EndSparsePhase.
+func (d *DSD) BeginSparsePhase() {
+	keep := int(float64(d.set.Total()) * (1 - d.SparseFraction))
+	if keep < 1 {
+		keep = 1
+	}
+	for i, p := range d.set.Params() {
+		base := d.set.Offset(i)
+		for e, v := range p.Value.Data {
+			if v < 0 {
+				v = -v
+			}
+			d.scores[base+e] = v
+		}
+	}
+	selectTopKInto(d.mask, d.scores, keep)
+	d.applyMask()
+	d.sparse = true
+}
+
+// EndSparsePhase releases the mask: all weights may be updated again (the
+// "dense refinement" phase). Masked weights resume from zero.
+func (d *DSD) EndSparsePhase() { d.sparse = false }
+
+// AfterStep re-applies the sparse mask after an optimizer step; a no-op in
+// dense phases.
+func (d *DSD) AfterStep() {
+	if d.sparse {
+		d.applyMask()
+	}
+}
+
+func (d *DSD) applyMask() {
+	for i, p := range d.set.Params() {
+		base := d.set.Offset(i)
+		for e := range p.Value.Data {
+			if !d.mask[base+e] {
+				p.Value.Data[e] = 0
+			}
+		}
+	}
+}
+
+// CompressionRatio is always 1: DSD's final model is dense (its sparsity is
+// a transient regularizer, not a storage saving) — the paper's §2.2 point.
+func (d *DSD) CompressionRatio() float64 { return 1 }
+
+// MaskedCount returns how many weights the current mask suppresses (0 in
+// dense phases).
+func (d *DSD) MaskedCount() int {
+	if !d.sparse {
+		return 0
+	}
+	n := 0
+	for _, keep := range d.mask {
+		if !keep {
+			n++
+		}
+	}
+	return n
+}

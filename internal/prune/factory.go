@@ -1,0 +1,52 @@
+package prune
+
+import "dropback/internal/nn"
+
+// LayerFactory abstracts construction of the weight-bearing layers so the
+// same model topology (in internal/models) can be built with standard
+// layers or with variational-dropout layers for the VD baseline runs.
+type LayerFactory interface {
+	// Linear builds a fully connected layer with bias.
+	Linear(name string, seed uint64, in, out int) nn.Layer
+	// Conv2D builds a square-kernel convolution with bias.
+	Conv2D(name string, seed uint64, inC, outC, k, stride, pad int) nn.Layer
+	// Conv2DNoBias builds a square-kernel convolution without bias.
+	Conv2DNoBias(name string, seed uint64, inC, outC, k, stride, pad int) nn.Layer
+}
+
+// Standard builds plain layers — the default factory.
+type Standard struct{}
+
+// Linear implements LayerFactory.
+func (Standard) Linear(name string, seed uint64, in, out int) nn.Layer {
+	return nn.NewLinear(name, seed, in, out)
+}
+
+// Conv2D implements LayerFactory.
+func (Standard) Conv2D(name string, seed uint64, inC, outC, k, stride, pad int) nn.Layer {
+	return nn.NewConv2D(name, seed, inC, outC, k, stride, pad)
+}
+
+// Conv2DNoBias implements LayerFactory.
+func (Standard) Conv2DNoBias(name string, seed uint64, inC, outC, k, stride, pad int) nn.Layer {
+	return nn.NewConv2DNoBias(name, seed, inC, outC, k, stride, pad)
+}
+
+// Variational builds VD layers for the variational-dropout baseline.
+type Variational struct{}
+
+// Linear implements LayerFactory.
+func (Variational) Linear(name string, seed uint64, in, out int) nn.Layer {
+	return NewVDLinear(name, seed, in, out)
+}
+
+// Conv2D implements LayerFactory.
+func (Variational) Conv2D(name string, seed uint64, inC, outC, k, stride, pad int) nn.Layer {
+	return NewVDConv2D(name, seed, inC, outC, k, stride, pad)
+}
+
+// Conv2DNoBias implements LayerFactory. VD convolutions always carry a
+// bias; the distinction only matters for BN-adjacent standard convolutions.
+func (Variational) Conv2DNoBias(name string, seed uint64, inC, outC, k, stride, pad int) nn.Layer {
+	return NewVDConv2D(name, seed, inC, outC, k, stride, pad)
+}

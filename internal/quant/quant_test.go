@@ -1,0 +1,154 @@
+package quant_test
+
+import (
+	"dropback/internal/quant"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dropback"
+	"dropback/internal/sparse"
+	"dropback/internal/xorshift"
+)
+
+func TestQuantizeRoundTripBound(t *testing.T) {
+	vals := make([]float32, 1000)
+	for i := range vals {
+		vals[i] = 0.3 * xorshift.IndexedNormal(1, uint64(i))
+	}
+	for _, bits := range []int{2, 4, 8} {
+		q := quant.Quantize(vals, bits)
+		back := q.Dequantize()
+		bound := float64(q.MaxError()) * 1.0001
+		for i := range vals {
+			if math.Abs(float64(vals[i]-back[i])) > bound {
+				t.Fatalf("bits=%d: value %v reconstructed %v, beyond bound %v", bits, vals[i], back[i], bound)
+			}
+		}
+	}
+}
+
+func TestQuantizeErrorShrinksWithBits(t *testing.T) {
+	vals := make([]float32, 500)
+	for i := range vals {
+		vals[i] = xorshift.IndexedNormal(2, uint64(i))
+	}
+	var prev float64 = math.Inf(1)
+	for _, bits := range []int{2, 4, 6, 8} {
+		q := quant.Quantize(vals, bits)
+		back := q.Dequantize()
+		var worst float64
+		for i := range vals {
+			if d := math.Abs(float64(vals[i] - back[i])); d > worst {
+				worst = d
+			}
+		}
+		if worst >= prev {
+			t.Fatalf("error did not shrink: %v bits worst %v >= previous %v", bits, worst, prev)
+		}
+		prev = worst
+	}
+}
+
+func TestQuantizeZeroRepresentable(t *testing.T) {
+	// Zero must round-trip exactly: untracked weights depend on it.
+	f := func(seed uint64) bool {
+		vals := make([]float32, 64)
+		for i := range vals {
+			vals[i] = xorshift.IndexedNormal(seed, uint64(i))
+		}
+		vals[7] = 0
+		q := quant.Quantize(vals, 8)
+		return q.Dequantize()[7] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeDegenerateInputs(t *testing.T) {
+	q := quant.Quantize(nil, 8)
+	if len(q.Dequantize()) != 0 {
+		t.Fatal("empty input must round-trip empty")
+	}
+	q = quant.Quantize([]float32{0, 0, 0}, 4)
+	for _, v := range q.Dequantize() {
+		if v != 0 {
+			t.Fatal("all-zero input must reconstruct zeros")
+		}
+	}
+	q = quant.Quantize([]float32{5, 5}, 8) // constant positive
+	back := q.Dequantize()
+	if math.Abs(float64(back[0]-5)) > float64(q.MaxError())*1.001 {
+		t.Fatalf("constant input reconstructed %v", back[0])
+	}
+}
+
+func TestQuantizeBadBitsPanics(t *testing.T) {
+	for _, bits := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for bits=%d", bits)
+				}
+			}()
+			quant.Quantize([]float32{1}, bits)
+		}()
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	q := quant.Quantize(make([]float32, 100), 4)
+	if q.StorageBits() != 64+400 {
+		t.Fatalf("StorageBits = %d, want 464", q.StorageBits())
+	}
+}
+
+func TestArtifactQuantizationEndToEnd(t *testing.T) {
+	// DropBack + quantization: the combined artifact must be smaller than
+	// the float artifact and still yield near-identical accuracy.
+	ds := dropback.MNISTLike(300, 21).Flatten()
+	train, val := ds.Split(240)
+	m := dropback.MNIST100100(21)
+	dropback.Train(m, train, val, dropback.TrainConfig{
+		Method: dropback.MethodDropBack, Budget: 5000, FreezeAfterEpoch: 1,
+		Epochs: 3, BatchSize: 32, Seed: 21,
+	})
+	_, accFloat := dropback.Evaluate(m, val, 32)
+
+	a := sparse.Compress(m)
+	qa := quant.Compress(a, 8)
+	if qa.StorageBytes() >= a.StorageBytes() {
+		t.Fatalf("quantized artifact %d B not below float artifact %d B", qa.StorageBytes(), a.StorageBytes())
+	}
+	fresh := dropback.MNIST100100(21)
+	if err := qa.Decompress().Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	_, accQuant := dropback.Evaluate(fresh, val, 32)
+	if math.Abs(accFloat-accQuant) > 0.05 {
+		t.Fatalf("8-bit quantization changed accuracy %.3f -> %.3f", accFloat, accQuant)
+	}
+}
+
+func TestArtifactPreservesIndicesAndBNs(t *testing.T) {
+	a := &sparse.Artifact{
+		ModelSeed: 9, TotalParams: 100,
+		Entries: []sparse.Entry{{Index: 3, Value: 0.5}, {Index: 50, Value: -0.25}},
+		BNs:     []sparse.BNStats{{Name: "bn", RunningMean: []float32{1}, RunningVar: []float32{2}}},
+	}
+	qa := quant.Compress(a, 8)
+	back := qa.Decompress()
+	if back.ModelSeed != 9 || back.TotalParams != 100 {
+		t.Fatal("header lost")
+	}
+	if back.Entries[0].Index != 3 || back.Entries[1].Index != 50 {
+		t.Fatal("indices must be exact")
+	}
+	if len(back.BNs) != 1 || back.BNs[0].RunningMean[0] != 1 {
+		t.Fatal("BN stats lost")
+	}
+	if math.Abs(float64(back.Entries[0].Value-0.5)) > float64(qa.Values.MaxError())*1.001 {
+		t.Fatalf("value 0 reconstructed %v", back.Entries[0].Value)
+	}
+}

@@ -1,0 +1,40 @@
+package sparse_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dropback"
+	"dropback/internal/sparse"
+)
+
+// FuzzRead drives the artifact parser with arbitrary bytes. The invariants:
+// never panic, and anything that parses must survive Apply-validation
+// without panicking either.
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid artifact plus interesting prefixes.
+	m := dropback.MNIST100100(1)
+	for g := 0; g < 20; g++ {
+		m.Set.Set(g*11, float32(g)+0.5)
+	}
+	var buf bytes.Buffer
+	if err := sparse.Compress(m).Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x53, 0x42, 0x44})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		art, err := sparse.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed artifacts must be safe to validate against a model.
+		_ = art.Apply(dropback.MNIST100100(1))
+		_ = art.StorageBytes()
+		_ = art.CompressionRatio()
+	})
+}

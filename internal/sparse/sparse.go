@@ -1,0 +1,329 @@
+// Package sparse implements the deployment artifact a DropBack-trained
+// model compresses to: the k tracked weight values (with their flat
+// indices), the model seed, and batch-normalization running statistics.
+// Nothing else is stored — every untracked weight is regenerated from
+// (seed, tensor id, element index) when the artifact is applied to a
+// freshly constructed model, exactly the storage contract that gives the
+// paper its "weight compression" column.
+//
+// Compression is derived, not declared: a weight is stored if and only if
+// its current value differs from its regenerated initialization value, so
+// the artifact works for any training method (for baseline-trained models
+// it degenerates to roughly dense storage, which is the point of the
+// comparison).
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"dropback/internal/nn"
+)
+
+// Magic identifies a sparse artifact stream ("DBSP").
+const Magic uint32 = 0x44425350
+
+// Version is the current format version.
+const Version uint32 = 1
+
+// Entry is one stored weight: the global flat index in the model's
+// parameter address space and its trained value.
+type Entry struct {
+	Index uint32
+	Value float32
+}
+
+// BNStats is one batch-norm layer's running statistics (inference needs
+// them; they are activations statistics, not weights, and are tiny).
+type BNStats struct {
+	Name        string
+	RunningMean []float32
+	RunningVar  []float32
+}
+
+// Artifact is the compressed model.
+type Artifact struct {
+	// ModelSeed must match the seed the receiving model is built with —
+	// it determines every regenerated weight.
+	ModelSeed uint64
+	// TotalParams is the full parameter count, used for validation and
+	// compression accounting.
+	TotalParams int
+	// Entries hold the deviating (tracked) weights in ascending index
+	// order.
+	Entries []Entry
+	// BNs hold running statistics per batch-norm layer.
+	BNs []BNStats
+}
+
+// Compress builds the artifact from a trained model: every weight whose
+// value differs from its regenerated initialization is stored; everything
+// else is represented implicitly by the seed.
+func Compress(m *nn.Model) *Artifact {
+	a := &Artifact{ModelSeed: m.Seed, TotalParams: m.Set.Total()}
+	for i, p := range m.Set.Params() {
+		base := m.Set.Offset(i)
+		for e, v := range p.Value.Data {
+			if v != p.Init.Regenerate(e) {
+				a.Entries = append(a.Entries, Entry{Index: uint32(base + e), Value: v})
+			}
+		}
+	}
+	nn.Walk(m.Net, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm); ok {
+			mean := make([]float32, bn.C)
+			variance := make([]float32, bn.C)
+			copy(mean, bn.RunningMean)
+			copy(variance, bn.RunningVar)
+			a.BNs = append(a.BNs, BNStats{Name: bn.Name(), RunningMean: mean, RunningVar: variance})
+		}
+	})
+	return a
+}
+
+// Apply writes the artifact into a freshly constructed model. The model
+// must be built by the same constructor with the same seed: Apply verifies
+// the seed and parameter count, regenerates every weight to its
+// initialization value, then overlays the stored entries and restores batch
+// norm statistics.
+func (a *Artifact) Apply(m *nn.Model) error {
+	if m.Seed != a.ModelSeed {
+		return fmt.Errorf("sparse: model seed %d does not match artifact seed %d", m.Seed, a.ModelSeed)
+	}
+	if m.Set.Total() != a.TotalParams {
+		return fmt.Errorf("sparse: model has %d parameters, artifact describes %d", m.Set.Total(), a.TotalParams)
+	}
+	// Regenerate everything (the model may have been trained or mutated).
+	for _, p := range m.Set.Params() {
+		p.Init.Fill(p.Value.Data)
+	}
+	for _, e := range a.Entries {
+		if int(e.Index) >= a.TotalParams {
+			return fmt.Errorf("sparse: entry index %d out of range", e.Index)
+		}
+		m.Set.Set(int(e.Index), e.Value)
+	}
+	bnByName := map[string]BNStats{}
+	for _, b := range a.BNs {
+		bnByName[b.Name] = b
+	}
+	var applyErr error
+	nn.Walk(m.Net, func(l nn.Layer) {
+		bn, ok := l.(*nn.BatchNorm)
+		if !ok || applyErr != nil {
+			return
+		}
+		if blob, ok := bnByName[bn.Name()]; ok {
+			if len(blob.RunningMean) != bn.C {
+				applyErr = fmt.Errorf("sparse: batch norm %q channel mismatch", bn.Name())
+				return
+			}
+			copy(bn.RunningMean, blob.RunningMean)
+			copy(bn.RunningVar, blob.RunningVar)
+		}
+	})
+	return applyErr
+}
+
+// StoredWeights returns the number of explicitly stored weights.
+func (a *Artifact) StoredWeights() int { return len(a.Entries) }
+
+// CompressionRatio returns total / stored weights (dense-equivalent
+// compression; +Inf-free: an empty artifact reports the total).
+func (a *Artifact) CompressionRatio() float64 {
+	if len(a.Entries) == 0 {
+		return float64(a.TotalParams)
+	}
+	return float64(a.TotalParams) / float64(len(a.Entries))
+}
+
+// StorageBytes returns the artifact's weight-storage footprint: 8 bytes per
+// entry (index + value) plus BN statistics and the 8-byte seed.
+func (a *Artifact) StorageBytes() int {
+	n := 8 + 8*len(a.Entries)
+	for _, b := range a.BNs {
+		n += 8 * len(b.RunningMean)
+	}
+	return n
+}
+
+// DenseStorageBytes returns the storage a dense copy of the same model
+// needs (4 bytes per weight plus the same BN statistics).
+func (a *Artifact) DenseStorageBytes() int {
+	n := 4 * a.TotalParams
+	for _, b := range a.BNs {
+		n += 8 * len(b.RunningMean)
+	}
+	return n
+}
+
+// Write serializes the artifact.
+func (a *Artifact) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, Magic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, Version); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, a.ModelSeed); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(a.TotalParams)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(a.Entries))); err != nil {
+		return err
+	}
+	for _, e := range a.Entries {
+		if err := binary.Write(bw, binary.LittleEndian, e.Index); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(e.Value)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(a.BNs))); err != nil {
+		return err
+	}
+	for _, b := range a.BNs {
+		if len(b.Name) > 1<<12 {
+			return fmt.Errorf("sparse: BN name too long")
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(b.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(b.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(b.RunningMean))); err != nil {
+			return err
+		}
+		for _, v := range b.RunningMean {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+		for _, v := range b.RunningVar {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses an artifact stream.
+func Read(r io.Reader) (*Artifact, error) {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("sparse: reading magic: %w", err)
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("sparse: bad magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("sparse: reading version: %w", err)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("sparse: unsupported version %d", version)
+	}
+	a := &Artifact{}
+	if err := binary.Read(br, binary.LittleEndian, &a.ModelSeed); err != nil {
+		return nil, fmt.Errorf("sparse: reading seed: %w", err)
+	}
+	var total uint64
+	if err := binary.Read(br, binary.LittleEndian, &total); err != nil {
+		return nil, fmt.Errorf("sparse: reading total: %w", err)
+	}
+	if total > 1<<33 {
+		return nil, fmt.Errorf("sparse: implausible parameter count %d", total)
+	}
+	a.TotalParams = int(total)
+	var nEntries uint32
+	if err := binary.Read(br, binary.LittleEndian, &nEntries); err != nil {
+		return nil, fmt.Errorf("sparse: reading entry count: %w", err)
+	}
+	if uint64(nEntries) > total {
+		return nil, fmt.Errorf("sparse: %d entries exceed %d parameters", nEntries, total)
+	}
+	buf := make([]byte, 8*int(nEntries))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("sparse: reading entries: %w", err)
+	}
+	a.Entries = make([]Entry, nEntries)
+	for i := range a.Entries {
+		a.Entries[i].Index = binary.LittleEndian.Uint32(buf[8*i:])
+		a.Entries[i].Value = math.Float32frombits(binary.LittleEndian.Uint32(buf[8*i+4:]))
+	}
+	var nBN uint32
+	if err := binary.Read(br, binary.LittleEndian, &nBN); err != nil {
+		return nil, fmt.Errorf("sparse: reading BN count: %w", err)
+	}
+	if nBN > 1<<20 {
+		return nil, fmt.Errorf("sparse: implausible BN count %d", nBN)
+	}
+	for i := uint32(0); i < nBN; i++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, fmt.Errorf("sparse: reading BN name length: %w", err)
+		}
+		if int(nameLen) > 1<<12 {
+			return nil, fmt.Errorf("sparse: BN name too long")
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, fmt.Errorf("sparse: reading BN name: %w", err)
+		}
+		var c uint32
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, fmt.Errorf("sparse: reading BN channels: %w", err)
+		}
+		if c == 0 || c > 1<<24 {
+			return nil, fmt.Errorf("sparse: implausible BN channels %d", c)
+		}
+		statBuf := make([]byte, 8*int(c))
+		if _, err := io.ReadFull(br, statBuf); err != nil {
+			return nil, fmt.Errorf("sparse: reading BN stats: %w", err)
+		}
+		b := BNStats{
+			Name:        string(nameBuf),
+			RunningMean: make([]float32, c),
+			RunningVar:  make([]float32, c),
+		}
+		for j := uint32(0); j < c; j++ {
+			b.RunningMean[j] = math.Float32frombits(binary.LittleEndian.Uint32(statBuf[4*j:]))
+			b.RunningVar[j] = math.Float32frombits(binary.LittleEndian.Uint32(statBuf[4*(c+j):]))
+		}
+		a.BNs = append(a.BNs, b)
+	}
+	return a, nil
+}
+
+// Save writes the artifact to a file.
+func Save(path string, a *Artifact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an artifact file.
+func Load(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

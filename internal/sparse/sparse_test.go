@@ -1,0 +1,258 @@
+package sparse_test
+
+import (
+	"bytes"
+	"dropback/internal/sparse"
+	"path/filepath"
+	"testing"
+
+	"dropback"
+	"dropback/internal/core"
+	"dropback/internal/models"
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// trainDropBack trains a tiny model under a DropBack budget and returns it.
+func trainDropBack(t *testing.T, budget int) (*dropback.Model, *dropback.Dataset) {
+	t.Helper()
+	ds := dropback.MNISTLike(300, 11).Flatten()
+	train, val := ds.Split(240)
+	m := dropback.MNIST100100(11)
+	dropback.Train(m, train, val, dropback.TrainConfig{
+		Method: dropback.MethodDropBack, Budget: budget, FreezeAfterEpoch: 1,
+		Epochs: 3, BatchSize: 32, Seed: 11,
+	})
+	return m, val
+}
+
+func TestCompressBoundedByBudget(t *testing.T) {
+	const budget = 5000
+	m, _ := trainDropBack(t, budget)
+	a := sparse.Compress(m)
+	if a.StoredWeights() > budget {
+		t.Fatalf("artifact stores %d weights, budget was %d", a.StoredWeights(), budget)
+	}
+	if a.StoredWeights() == 0 {
+		t.Fatal("artifact stored nothing — training had no effect?")
+	}
+	if a.CompressionRatio() < float64(m.Set.Total())/float64(budget) {
+		t.Fatalf("compression %.2f below budget-implied %.2f", a.CompressionRatio(), float64(m.Set.Total())/float64(budget))
+	}
+}
+
+func TestApplyReproducesInferenceExactly(t *testing.T) {
+	// The end-to-end regeneration contract: a fresh model plus the sparse
+	// artifact must produce bit-identical logits to the trained model.
+	m, val := trainDropBack(t, 5000)
+	a := sparse.Compress(m)
+	fresh := dropback.MNIST100100(11)
+	if err := a.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := val.Batch(0, 16)
+	y1 := m.Net.Forward(x, false)
+	y2 := fresh.Net.Forward(x, false)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatalf("logit %d differs: %v vs %v", i, y1.Data[i], y2.Data[i])
+		}
+	}
+}
+
+func TestApplyRestoresOnDirtyModel(t *testing.T) {
+	m, _ := trainDropBack(t, 3000)
+	a := sparse.Compress(m)
+	dirty := dropback.MNIST100100(11)
+	for g := 0; g < dirty.Set.Total(); g += 3 {
+		dirty.Set.Set(g, -99)
+	}
+	if err := a.Apply(dirty); err != nil {
+		t.Fatal(err)
+	}
+	want := m.Set.Snapshot()
+	got := dirty.Set.Snapshot()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("weight %d differs after Apply on dirty model", i)
+		}
+	}
+}
+
+func TestApplySeedMismatch(t *testing.T) {
+	m, _ := trainDropBack(t, 3000)
+	a := sparse.Compress(m)
+	other := dropback.MNIST100100(12)
+	if err := a.Apply(other); err == nil {
+		t.Fatal("expected error for seed mismatch")
+	}
+}
+
+func TestApplyArchitectureMismatch(t *testing.T) {
+	m, _ := trainDropBack(t, 3000)
+	a := sparse.Compress(m)
+	other := models.ReducedMNISTMLP("x", 8, 4, 4, 11, nil)
+	if err := a.Apply(other); err == nil {
+		t.Fatal("expected error for parameter-count mismatch")
+	}
+}
+
+func TestApplyRejectsOutOfRangeEntry(t *testing.T) {
+	m := dropback.MNIST100100(1)
+	a := sparse.Compress(m)
+	a.Entries = append(a.Entries, sparse.Entry{Index: uint32(m.Set.Total() + 5), Value: 1})
+	if err := a.Apply(dropback.MNIST100100(1)); err == nil {
+		t.Fatal("expected error for out-of-range entry")
+	}
+}
+
+func TestStorageBytesAccounting(t *testing.T) {
+	m, _ := trainDropBack(t, 2000)
+	a := sparse.Compress(m)
+	sparseBytes := a.StorageBytes()
+	denseBytes := a.DenseStorageBytes()
+	if sparseBytes >= denseBytes {
+		t.Fatalf("sparse %d B not below dense %d B", sparseBytes, denseBytes)
+	}
+	// 89,610 params at budget 2000: dense 358 KB vs sparse ≤ ~16 KB + seed.
+	if sparseBytes > 8+8*2000+1024 {
+		t.Fatalf("sparse footprint %d B larger than expected", sparseBytes)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	m, val := trainDropBack(t, 4000)
+	a := sparse.Compress(m)
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sparse.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ModelSeed != a.ModelSeed || b.TotalParams != a.TotalParams || len(b.Entries) != len(a.Entries) {
+		t.Fatal("artifact header mismatch after round trip")
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+	fresh := dropback.MNIST100100(11)
+	if err := b.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := val.Batch(0, 8)
+	y1 := m.Net.Forward(x, false)
+	y2 := fresh.Net.Forward(x, false)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("inference differs after serialization round trip")
+		}
+	}
+}
+
+func TestSerializationWithBatchNorm(t *testing.T) {
+	// A conv model with BN: running stats must survive the round trip.
+	ds := dropback.CIFARLikeSized(120, 8, 13)
+	train, val := ds.Split(96)
+	m := dropback.VGGSReduced(8, 2, 13, false)
+	dropback.Train(m, train, val, dropback.TrainConfig{
+		Method: dropback.MethodDropBack, Budget: m.Set.Total() / 4,
+		Epochs: 2, BatchSize: 16, Seed: 13,
+	})
+	a := sparse.Compress(m)
+	if len(a.BNs) == 0 {
+		t.Fatal("BN stats not captured")
+	}
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sparse.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := dropback.VGGSReduced(8, 2, 13, false)
+	if err := b.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := val.Batch(0, 4)
+	y1 := m.Net.Forward(x, false)
+	y2 := fresh.Net.Forward(x, false)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("BN model inference differs after round trip")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m, _ := trainDropBack(t, 1000)
+	a := sparse.Compress(m)
+	path := filepath.Join(t.TempDir(), "model.dbsp")
+	if err := sparse.Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := sparse.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.StoredWeights() != a.StoredWeights() {
+		t.Fatal("file round trip changed entry count")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := sparse.Read(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+	var buf bytes.Buffer
+	buf.Write([]byte{0x50, 0x53, 0x42, 0x44}) // wrong byte order magic
+	if _, err := sparse.Read(&buf); err == nil {
+		t.Fatal("expected error for wrong magic")
+	}
+}
+
+func TestBaselineModelCompressesPoorly(t *testing.T) {
+	// The contrast case: a baseline-trained model deviates everywhere, so
+	// the artifact approaches dense size — DropBack's budget is what makes
+	// the artifact small.
+	ds := dropback.MNISTLike(200, 17).Flatten()
+	train, val := ds.Split(160)
+	m := dropback.MNIST100100(17)
+	dropback.Train(m, train, val, dropback.TrainConfig{
+		Method: dropback.MethodBaseline, Epochs: 2, BatchSize: 32, Seed: 17,
+	})
+	a := sparse.Compress(m)
+	if a.CompressionRatio() > 2 {
+		t.Fatalf("baseline model compressed %.2fx — expected near-dense", a.CompressionRatio())
+	}
+}
+
+func TestCompressAfterManualConstraint(t *testing.T) {
+	// Compress must agree exactly with the constraint's mask when applied
+	// right after an Apply: stored weights == tracked deviating weights.
+	m := dropback.MNIST100100(19)
+	db := core.New(m.Set, core.Config{Budget: 100})
+	x := tensor.New(4, 784)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(3, uint64(i))
+	}
+	m.Step(x, []int{0, 1, 2, 3})
+	for _, p := range m.Set.Params() {
+		tensor.AXPY(-0.1, p.Grad, p.Value)
+	}
+	db.Apply()
+	a := sparse.Compress(m)
+	if a.StoredWeights() > 100 {
+		t.Fatalf("stored %d > budget 100", a.StoredWeights())
+	}
+	mask := db.Mask()
+	for _, e := range a.Entries {
+		if !mask[e.Index] {
+			t.Fatalf("stored weight %d is not in the tracked set", e.Index)
+		}
+	}
+}

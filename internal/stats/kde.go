@@ -1,0 +1,148 @@
+// Package stats provides the statistical tooling behind the paper's
+// analysis figures: Gaussian kernel density estimation (the accumulated-
+// gradient distribution of Fig 1), L2 diffusion-distance tracking (Fig 5,
+// the ultra-slow-diffusion argument from Hoffer et al. 2017), and principal
+// component analysis of weight trajectories via the Gram-matrix trick with
+// power iteration (the 3-D projection of Fig 6).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KDE is a one-dimensional Gaussian kernel density estimate.
+type KDE struct {
+	samples   []float64
+	bandwidth float64
+}
+
+// NewKDE builds a KDE over the samples with Silverman's rule-of-thumb
+// bandwidth: 1.06·σ̂·n^(−1/5), where σ̂ is min(std, IQR/1.34).
+func NewKDE(samples []float32) *KDE {
+	if len(samples) == 0 {
+		panic("stats: KDE needs at least one sample")
+	}
+	xs := make([]float64, len(samples))
+	var sum, sumSq float64
+	for i, v := range samples {
+		xs[i] = float64(v)
+		sum += xs[i]
+		sumSq += xs[i] * xs[i]
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	std := math.Sqrt(variance)
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	iqr := quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25)
+	sigma := std
+	if r := iqr / 1.34; r > 0 && r < sigma {
+		sigma = r
+	}
+	bw := 1.06 * sigma * math.Pow(n, -0.2)
+	if bw <= 0 || math.IsNaN(bw) {
+		bw = 1e-3 // degenerate (constant) sample sets still get a density
+	}
+	return &KDE{samples: xs, bandwidth: bw}
+}
+
+// Bandwidth returns the selected kernel bandwidth.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// Density evaluates the estimated density at x.
+func (k *KDE) Density(x float64) float64 {
+	var s float64
+	inv := 1 / k.bandwidth
+	norm := inv / (math.Sqrt(2*math.Pi) * float64(len(k.samples)))
+	for _, xi := range k.samples {
+		u := (x - xi) * inv
+		s += math.Exp(-0.5 * u * u)
+	}
+	return s * norm
+}
+
+// Evaluate computes the density over a uniform grid of points spanning
+// [lo, hi], returning the grid and densities.
+func (k *KDE) Evaluate(lo, hi float64, points int) (grid, density []float64) {
+	if points < 2 {
+		panic("stats: KDE grid needs at least 2 points")
+	}
+	grid = make([]float64, points)
+	density = make([]float64, points)
+	step := (hi - lo) / float64(points-1)
+	for i := range grid {
+		grid[i] = lo + float64(i)*step
+		density[i] = k.Density(grid[i])
+	}
+	return grid, density
+}
+
+// quantileSorted returns the q-quantile of a sorted slice (linear
+// interpolation).
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary holds basic descriptive statistics of a sample set.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max, Median float64
+	// FracNearZero is the fraction of samples with |x| < Eps — the Fig 1
+	// observation that "most accumulated gradients are near 0".
+	FracNearZero float64
+	Eps          float64
+}
+
+// Summarize computes a Summary with the given near-zero epsilon.
+func Summarize(samples []float32, eps float64) Summary {
+	if len(samples) == 0 {
+		return Summary{Eps: eps}
+	}
+	xs := make([]float64, len(samples))
+	var sum, sumSq float64
+	near := 0
+	mn, mx := float64(samples[0]), float64(samples[0])
+	for i, v := range samples {
+		x := float64(v)
+		xs[i] = x
+		sum += x
+		sumSq += x * x
+		if math.Abs(x) < eps {
+			near++
+		}
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sort.Float64s(xs)
+	return Summary{
+		N: len(samples), Mean: mean, Std: math.Sqrt(variance),
+		Min: mn, Max: mx, Median: quantileSorted(xs, 0.5),
+		FracNearZero: float64(near) / n, Eps: eps,
+	}
+}

@@ -1,0 +1,260 @@
+package stats
+
+import "math"
+
+// PCA projects a small set of very high-dimensional vectors (weight
+// snapshots along a training trajectory) onto their top principal
+// components, as Fig 6 does to visualize weight evolution in 3-D.
+//
+// With T snapshots of dimension D (T ≪ D, e.g. 30 snapshots of a 90k-weight
+// network), the D×D covariance is intractable but shares its non-zero
+// eigenvalues with the T×T Gram matrix G = X·Xᵀ of the centered data. The
+// implementation eigendecomposes G by power iteration with deflation and
+// maps the eigenvectors back to projection coordinates.
+
+// PCAResult holds the projection of each input vector onto the top
+// components and the explained variance of each component.
+type PCAResult struct {
+	// Projections[i][c] is snapshot i's coordinate along component c.
+	Projections [][]float64
+	// Eigenvalues are the Gram-matrix eigenvalues (∝ explained variance),
+	// in decreasing order.
+	Eigenvalues []float64
+}
+
+// PCAProject computes the top-components principal component projection of
+// the given row vectors. All rows must share one length. components is
+// clamped to len(rows)−1 (the rank bound of centered data) but is always at
+// least 1.
+func PCAProject(rows [][]float32, components int) PCAResult {
+	t := len(rows)
+	if t < 2 {
+		panic("stats: PCA needs at least two snapshots")
+	}
+	d := len(rows[0])
+	for _, r := range rows {
+		if len(r) != d {
+			panic("stats: PCA rows must share one length")
+		}
+	}
+	if components > t-1 {
+		components = t - 1
+	}
+	if components < 1 {
+		components = 1
+	}
+	// Column means for centering, accumulated in float64.
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += float64(v)
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(t)
+	}
+	// Gram matrix of centered rows: G[i][j] = <x_i − µ, x_j − µ>.
+	g := make([][]float64, t)
+	for i := range g {
+		g[i] = make([]float64, t)
+	}
+	for i := 0; i < t; i++ {
+		for j := i; j < t; j++ {
+			var s float64
+			ri, rj := rows[i], rows[j]
+			for k := 0; k < d; k++ {
+				s += (float64(ri[k]) - mean[k]) * (float64(rj[k]) - mean[k])
+			}
+			g[i][j] = s
+			g[j][i] = s
+		}
+	}
+	res := PCAResult{
+		Projections: make([][]float64, t),
+		Eigenvalues: make([]float64, 0, components),
+	}
+	for i := range res.Projections {
+		res.Projections[i] = make([]float64, components)
+	}
+	for c := 0; c < components; c++ {
+		val, vec := powerIteration(g, uint64(c)+1)
+		res.Eigenvalues = append(res.Eigenvalues, val)
+		// Projection of snapshot i onto principal axis c is
+		// sqrt(λ)·vec[i] (vec is the unit Gram eigenvector).
+		scale := 0.0
+		if val > 0 {
+			scale = math.Sqrt(val)
+		}
+		for i := 0; i < t; i++ {
+			res.Projections[i][c] = scale * vec[i]
+		}
+		deflate(g, val, vec)
+	}
+	return res
+}
+
+// powerIteration finds the dominant eigenpair of the symmetric matrix g.
+func powerIteration(g [][]float64, seed uint64) (float64, []float64) {
+	t := len(g)
+	v := make([]float64, t)
+	// Deterministic varied start vector.
+	for i := range v {
+		v[i] = math.Sin(float64(i+1) * float64(seed) * 0.7391)
+	}
+	normalize(v)
+	tmp := make([]float64, t)
+	lambda := 0.0
+	for iter := 0; iter < 500; iter++ {
+		matVec(g, v, tmp)
+		newLambda := dot(v, tmp)
+		n := norm(tmp)
+		if n == 0 {
+			return 0, v // g is (numerically) zero: any unit vector works
+		}
+		for i := range v {
+			v[i] = tmp[i] / n
+		}
+		if math.Abs(newLambda-lambda) <= 1e-12*(1+math.Abs(newLambda)) {
+			lambda = newLambda
+			break
+		}
+		lambda = newLambda
+	}
+	return lambda, v
+}
+
+// deflate removes the found eigenpair: g ← g − λ·v·vᵀ.
+func deflate(g [][]float64, lambda float64, v []float64) {
+	for i := range g {
+		for j := range g[i] {
+			g[i][j] -= lambda * v[i] * v[j]
+		}
+	}
+}
+
+func matVec(g [][]float64, v, out []float64) {
+	for i := range g {
+		var s float64
+		row := g[i]
+		for j, x := range v {
+			s += row[j] * x
+		}
+		out[i] = s
+	}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(v []float64) float64 { return math.Sqrt(dot(v, v)) }
+
+func normalize(v []float64) {
+	n := norm(v)
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for i := range v {
+		v[i] /= n
+	}
+}
+
+// Diffusion tracks the L2 distance ‖w_t − w_0‖ of a weight vector from its
+// initialization over training — the quantity Hoffer et al. 2017 show grows
+// logarithmically under SGD ("ultra-slow diffusion") and the paper uses in
+// §4 to explain why DropBack generalizes: its diffusion profile stays close
+// to the unconstrained baseline's (Fig 5).
+type Diffusion struct {
+	w0        []float32
+	distances []float64
+	steps     []int
+}
+
+// NewDiffusion starts a tracker anchored at the initial weight vector
+// (which is copied).
+func NewDiffusion(w0 []float32) *Diffusion {
+	c := make([]float32, len(w0))
+	copy(c, w0)
+	return &Diffusion{w0: c}
+}
+
+// Record appends the distance of w from the anchor, tagged with a step
+// index.
+func (d *Diffusion) Record(step int, w []float32) float64 {
+	if len(w) != len(d.w0) {
+		panic("stats: diffusion vector length changed")
+	}
+	var s float64
+	for i := range w {
+		diff := float64(w[i]) - float64(d.w0[i])
+		s += diff * diff
+	}
+	dist := math.Sqrt(s)
+	d.distances = append(d.distances, dist)
+	d.steps = append(d.steps, step)
+	return dist
+}
+
+// Series returns the recorded (step, distance) series.
+func (d *Diffusion) Series() (steps []int, distances []float64) {
+	return append([]int(nil), d.steps...), append([]float64(nil), d.distances...)
+}
+
+// LogLogSlope fits distance ~ a + b·log(step) by least squares over the
+// recorded points with step >= 1 and returns b — a direct check of the
+// logarithmic-growth (ultra-slow diffusion) property.
+func (d *Diffusion) LogLogSlope() float64 {
+	b, _ := d.LogFit()
+	return b
+}
+
+// LogFit fits distance ~ a + b·log(step) and returns the slope b together
+// with the coefficient of determination R². An R² near 1 means the
+// trajectory follows Hoffer et al.'s ultra-slow (logarithmic) diffusion law
+// closely; techniques that disturb the loss surface (the paper's argument
+// against variational dropout) show lower R² or a very different slope.
+func (d *Diffusion) LogFit() (slope, r2 float64) {
+	var n float64
+	var sx, sy, sxx, sxy, syy float64
+	for i, st := range d.steps {
+		if st < 1 {
+			continue
+		}
+		x := math.Log(float64(st))
+		y := d.distances[i]
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		syy += y * y
+	}
+	if n < 2 {
+		return 0, 0
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0, 0
+	}
+	slope = (n*sxy - sx*sy) / denom
+	ssTot := syy - sy*sy/n
+	if ssTot <= 0 {
+		return slope, 1 // constant series: the fit is trivially exact
+	}
+	intercept := (sy - slope*sx) / n
+	var ssRes float64
+	for i, st := range d.steps {
+		if st < 1 {
+			continue
+		}
+		pred := intercept + slope*math.Log(float64(st))
+		diff := d.distances[i] - pred
+		ssRes += diff * diff
+	}
+	return slope, 1 - ssRes/ssTot
+}

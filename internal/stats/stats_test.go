@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/xorshift"
+)
+
+func normalSamples(seed uint64, n int, mean, std float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = mean + std*xorshift.IndexedNormal(seed, uint64(i))
+	}
+	return out
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	k := NewKDE(normalSamples(1, 2000, 0, 1))
+	grid, dens := k.Evaluate(-6, 6, 601)
+	var integral float64
+	for i := 1; i < len(grid); i++ {
+		integral += 0.5 * (dens[i] + dens[i-1]) * (grid[i] - grid[i-1])
+	}
+	if math.Abs(integral-1) > 0.02 {
+		t.Fatalf("KDE integral = %v, want ~1", integral)
+	}
+}
+
+func TestKDEPeaksAtMode(t *testing.T) {
+	k := NewKDE(normalSamples(2, 5000, 3, 0.5))
+	if k.Density(3) < k.Density(1) || k.Density(3) < k.Density(5) {
+		t.Fatal("density must peak near the true mean")
+	}
+}
+
+func TestKDEDegenerateSamples(t *testing.T) {
+	// All-equal samples must not produce NaN bandwidth.
+	k := NewKDE([]float32{2, 2, 2, 2})
+	if math.IsNaN(k.Density(2)) || k.Density(2) <= 0 {
+		t.Fatalf("degenerate KDE density = %v", k.Density(2))
+	}
+	if k.Bandwidth() <= 0 {
+		t.Fatal("bandwidth must be positive")
+	}
+}
+
+func TestKDEEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty samples")
+		}
+	}()
+	NewKDE(nil)
+}
+
+func TestKDEBadGridPanics(t *testing.T) {
+	k := NewKDE([]float32{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 1-point grid")
+		}
+	}()
+	k.Evaluate(0, 1, 1)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float32{-1, 0, 0, 0, 1}, 0.5)
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 0 || s.Median != 0 {
+		t.Fatalf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	if s.Min != -1 || s.Max != 1 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.FracNearZero != 0.6 {
+		t.Fatalf("FracNearZero = %v, want 0.6", s.FracNearZero)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil, 0.1)
+	if s.N != 0 {
+		t.Fatal("empty summary must have N=0")
+	}
+}
+
+func TestPCARecoverLineStructure(t *testing.T) {
+	// Points along a single direction in high-dimensional space: the first
+	// component must capture essentially all variance.
+	d := 500
+	dir := normalSamples(3, d, 0, 1)
+	rows := make([][]float32, 10)
+	for i := range rows {
+		rows[i] = make([]float32, d)
+		for j := 0; j < d; j++ {
+			rows[i][j] = float32(i) * dir[j]
+		}
+	}
+	res := PCAProject(rows, 3)
+	if len(res.Projections) != 10 || len(res.Projections[0]) != 3 {
+		t.Fatalf("projection shape %dx%d", len(res.Projections), len(res.Projections[0]))
+	}
+	if res.Eigenvalues[0] <= 0 {
+		t.Fatal("first eigenvalue must be positive")
+	}
+	if res.Eigenvalues[1] > res.Eigenvalues[0]*1e-6 {
+		t.Fatalf("rank-1 data has second eigenvalue %v vs first %v", res.Eigenvalues[1], res.Eigenvalues[0])
+	}
+	// Projections along PC1 must be ordered (monotone in i) up to sign.
+	inc, dec := true, true
+	for i := 1; i < 10; i++ {
+		if res.Projections[i][0] < res.Projections[i-1][0] {
+			inc = false
+		}
+		if res.Projections[i][0] > res.Projections[i-1][0] {
+			dec = false
+		}
+	}
+	if !inc && !dec {
+		t.Fatal("PC1 projections of collinear points must be monotone")
+	}
+}
+
+func TestPCAEigenvaluesDecreasing(t *testing.T) {
+	rows := make([][]float32, 8)
+	for i := range rows {
+		rows[i] = normalSamples(uint64(10+i), 200, 0, 1)
+	}
+	res := PCAProject(rows, 4)
+	for c := 1; c < len(res.Eigenvalues); c++ {
+		if res.Eigenvalues[c] > res.Eigenvalues[c-1]+1e-9 {
+			t.Fatalf("eigenvalues not decreasing: %v", res.Eigenvalues)
+		}
+	}
+}
+
+func TestPCAPreservesPairwiseDistances(t *testing.T) {
+	// With components = T−1, PCA is a rigid embedding of the centered
+	// snapshots: pairwise distances must be preserved.
+	rows := make([][]float32, 5)
+	for i := range rows {
+		rows[i] = normalSamples(uint64(20+i), 300, 0, 1)
+	}
+	res := PCAProject(rows, 4)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			var orig float64
+			for k := range rows[i] {
+				d := float64(rows[i][k]) - float64(rows[j][k])
+				orig += d * d
+			}
+			var proj float64
+			for c := 0; c < 4; c++ {
+				d := res.Projections[i][c] - res.Projections[j][c]
+				proj += d * d
+			}
+			if math.Abs(math.Sqrt(orig)-math.Sqrt(proj)) > 0.05*math.Sqrt(orig) {
+				t.Fatalf("distance (%d,%d) distorted: %v vs %v", i, j, math.Sqrt(orig), math.Sqrt(proj))
+			}
+		}
+	}
+}
+
+func TestPCAComponentClamping(t *testing.T) {
+	rows := [][]float32{normalSamples(1, 10, 0, 1), normalSamples(2, 10, 0, 1)}
+	res := PCAProject(rows, 5)
+	if len(res.Projections[0]) != 1 {
+		t.Fatalf("components must clamp to T-1 = 1, got %d", len(res.Projections[0]))
+	}
+}
+
+func TestPCAPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for single row")
+		}
+	}()
+	PCAProject([][]float32{{1, 2}}, 1)
+}
+
+func TestPCARowLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	PCAProject([][]float32{{1, 2}, {1}}, 1)
+}
+
+func TestDiffusionDistances(t *testing.T) {
+	d := NewDiffusion([]float32{0, 0, 0})
+	if got := d.Record(1, []float32{3, 4, 0}); got != 5 {
+		t.Fatalf("distance = %v, want 5", got)
+	}
+	if got := d.Record(2, []float32{0, 0, 0}); got != 0 {
+		t.Fatalf("distance = %v, want 0", got)
+	}
+	steps, dist := d.Series()
+	if len(steps) != 2 || steps[1] != 2 || dist[0] != 5 {
+		t.Fatalf("series = %v %v", steps, dist)
+	}
+}
+
+func TestDiffusionAnchorIsCopied(t *testing.T) {
+	w := []float32{1, 1}
+	d := NewDiffusion(w)
+	w[0] = 100
+	if got := d.Record(1, []float32{1, 1}); got != 0 {
+		t.Fatalf("anchor mutated: distance = %v", got)
+	}
+}
+
+func TestDiffusionLogSlope(t *testing.T) {
+	// Perfect logarithmic growth must fit slope ~2.
+	d := NewDiffusion(make([]float32, 1))
+	for step := 1; step <= 1000; step *= 2 {
+		dist := 2 * math.Log(float64(step))
+		d.Record(step, []float32{float32(dist)})
+	}
+	if got := d.LogLogSlope(); math.Abs(got-2) > 1e-6 {
+		t.Fatalf("log slope = %v, want 2", got)
+	}
+}
+
+func TestDiffusionLengthPanics(t *testing.T) {
+	d := NewDiffusion([]float32{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong length")
+		}
+	}()
+	d.Record(1, []float32{1})
+}
+
+func TestLogFitR2PerfectFit(t *testing.T) {
+	d := NewDiffusion(make([]float32, 1))
+	for step := 1; step <= 512; step *= 2 {
+		d.Record(step, []float32{float32(1.5 + 2*math.Log(float64(step)))})
+	}
+	slope, r2 := d.LogFit()
+	if math.Abs(slope-2) > 1e-5 {
+		t.Fatalf("slope = %v, want 2", slope)
+	}
+	if r2 < 0.999999 {
+		t.Fatalf("R² = %v, want ~1 for an exact log law", r2)
+	}
+}
+
+func TestLogFitR2PoorFit(t *testing.T) {
+	// A linear-in-step series fits log(step) poorly over a wide range.
+	d := NewDiffusion(make([]float32, 1))
+	for step := 1; step <= 1024; step *= 2 {
+		d.Record(step, []float32{float32(step)})
+	}
+	_, r2 := d.LogFit()
+	if r2 > 0.9 {
+		t.Fatalf("R² = %v for exponential-vs-log mismatch, want < 0.9", r2)
+	}
+}
+
+func TestLogFitConstantSeries(t *testing.T) {
+	d := NewDiffusion(make([]float32, 1))
+	for step := 1; step <= 8; step++ {
+		d.Record(step, []float32{5})
+	}
+	slope, r2 := d.LogFit()
+	if slope != 0 || r2 != 1 {
+		t.Fatalf("constant series: slope %v r2 %v, want 0, 1", slope, r2)
+	}
+}
+
+func TestLogFitTooFewPoints(t *testing.T) {
+	d := NewDiffusion(make([]float32, 1))
+	d.Record(1, []float32{1})
+	if s, r := d.LogFit(); s != 0 || r != 0 {
+		t.Fatalf("single point must return zeros, got %v %v", s, r)
+	}
+}

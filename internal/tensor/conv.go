@@ -1,0 +1,92 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the output spatial size for a convolution or pooling
+// window: floor((in + 2*pad - kernel)/stride) + 1.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	if stride <= 0 {
+		panic("tensor: stride must be positive")
+	}
+	out := (in+2*pad-kernel)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: convolution output size %d non-positive (in=%d kernel=%d stride=%d pad=%d)", out, in, kernel, stride, pad))
+	}
+	return out
+}
+
+// Im2Col lowers one image x of shape (C, H, W) into a column matrix of shape
+// (C*KH*KW, OH*OW) for the given kernel/stride/pad, so that convolution
+// becomes a single matrix multiply with the (F, C*KH*KW) filter matrix.
+// Out-of-bounds (padding) positions contribute zeros.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.Shape) != 3 {
+		panic("tensor: Im2Col requires a (C,H,W) tensor")
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	cols := New(c*kh*kw, oh*ow)
+	colStride := oh * ow
+	for ci := 0; ci < c; ci++ {
+		imgBase := ci * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ci*kh+ki)*kw + kj) * colStride
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						continue // zero padding: row already zero
+					}
+					srcBase := imgBase + ii*w
+					dstBase := rowBase + oi*ow
+					for oj := 0; oj < ow; oj++ {
+						jj := oj*stride + kj - pad
+						if jj < 0 || jj >= w {
+							continue
+						}
+						cols.Data[dstBase+oj] = x.Data[srcBase+jj]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (C*KH*KW, OH*OW) column
+// matrix back into an image of shape (C, H, W), accumulating where windows
+// overlap. It is used to compute input gradients of a convolution.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d) k=%dx%d s=%d p=%d", cols.Shape, c, h, w, kh, kw, stride, pad))
+	}
+	img := New(c, h, w)
+	colStride := oh * ow
+	for ci := 0; ci < c; ci++ {
+		imgBase := ci * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ci*kh+ki)*kw + kj) * colStride
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						continue
+					}
+					srcBase := rowBase + oi*ow
+					dstBase := imgBase + ii*w
+					for oj := 0; oj < ow; oj++ {
+						jj := oj*stride + kj - pad
+						if jj < 0 || jj >= w {
+							continue
+						}
+						img.Data[dstBase+jj] += cols.Data[srcBase+oj]
+					}
+				}
+			}
+		}
+	}
+	return img
+}

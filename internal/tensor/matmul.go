@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-accumulates before a
+// matmul fans out across goroutines; below it the goroutine spawn/join
+// overhead (microseconds) dominates the arithmetic.
+const parallelThreshold = 512 * 1024
+
+// parallelRows partitions [0, rows) into contiguous chunks, runs fn(lo, hi)
+// on each, and waits. Each output row is written by exactly one goroutine,
+// so results are bit-identical to the sequential loop.
+func parallelRows(rows int, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || work < parallelThreshold {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a @ b for a of shape (M, K) and b of shape (K, N).
+// The kernel iterates k in the middle loop (ikj order) so the innermost loop
+// streams both b's row and the output row — cache-friendly without an
+// explicit pack, and deterministic because each output row accumulates in a
+// fixed k order.
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMul requires 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch (%d,%d)@(%d,%d)", m, k, k2, n))
+	}
+	out := New(m, n)
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j := range orow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransB returns a @ bᵀ for a of shape (M, K) and b of shape (N, K).
+// Used by the linear-layer forward pass when weights are stored (out, in).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransB requires 2-D tensors")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch (%d,%d)@(%d,%d)ᵀ", m, k, n, k2))
+	}
+	out := New(m, n)
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for p := range arow {
+					s += arow[p] * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransA returns aᵀ @ b for a of shape (K, M) and b of shape (K, N).
+// Used for weight gradients: dW = xᵀ @ dy.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic("tensor: MatMulTransA requires 2-D tensors")
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch (%d,%d)ᵀ@(%d,%d)", k, m, k2, n))
+	}
+	out := New(m, n)
+	parallelRows(m, m*n*k, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j := range orow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sum returns the sum of all elements, accumulated in float64.
+func Sum(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(t *Tensor) float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return Sum(t) / float64(len(t.Data))
+}
+
+// ArgmaxRows returns, for an (N, C) matrix, the index of the maximum element
+// in each row — the predicted class per sample. Ties resolve to the lowest
+// index.
+func ArgmaxRows(m *Tensor) []int {
+	if len(m.Shape) != 2 {
+		panic("tensor: ArgmaxRows requires a 2-D tensor")
+	}
+	n, c := m.Shape[0], m.Shape[1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := m.Data[i*c : (i+1)*c]
+		best := 0
+		for j := 1; j < c; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SoftmaxRows returns the row-wise softmax of an (N, C) matrix, computed
+// with the max-subtraction trick for numerical stability.
+func SoftmaxRows(m *Tensor) *Tensor {
+	if len(m.Shape) != 2 {
+		panic("tensor: SoftmaxRows requires a 2-D tensor")
+	}
+	n, c := m.Shape[0], m.Shape[1]
+	out := New(n, c)
+	for i := 0; i < n; i++ {
+		row := m.Data[i*c : (i+1)*c]
+		orow := out.Data[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			orow[j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// CrossEntropyFromProbs returns the mean negative log-likelihood of the true
+// labels under row-wise probability distributions probs (N, C), plus the
+// gradient of that loss with respect to the pre-softmax logits
+// (probs - onehot)/N. labels[i] must be in [0, C).
+func CrossEntropyFromProbs(probs *Tensor, labels []int) (loss float64, dlogits *Tensor) {
+	if len(probs.Shape) != 2 {
+		panic("tensor: CrossEntropyFromProbs requires a 2-D tensor")
+	}
+	n, c := probs.Shape[0], probs.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("tensor: %d labels for %d rows", len(labels), n))
+	}
+	dlogits = probs.Clone()
+	const eps = 1e-12
+	invN := float32(1.0 / float64(n))
+	for i, y := range labels {
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", y, c))
+		}
+		p := float64(probs.Data[i*c+y])
+		loss -= math.Log(p + eps)
+		dlogits.Data[i*c+y] -= 1
+	}
+	loss /= float64(n)
+	ScaleInPlace(dlogits, invN)
+	return loss, dlogits
+}
+
+// Accuracy returns the fraction of rows of logits (N, C) whose argmax equals
+// the corresponding label.
+func Accuracy(logits *Tensor, labels []int) float64 {
+	preds := ArgmaxRows(logits)
+	if len(preds) != len(labels) {
+		panic("tensor: Accuracy label count mismatch")
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

@@ -1,0 +1,207 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	if x.Dims() != 3 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("bad shape %v", x.Shape)
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dimension")
+		}
+	}()
+	New(2, 0, 3)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	x := FromSlice(d, 2, 3)
+	if x.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", x.At(1, 2))
+	}
+	// FromSlice must not copy.
+	d[0] = 42
+	if x.At(0, 0) != 42 {
+		t.Fatal("FromSlice must wrap the slice, not copy it")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestFull(t *testing.T) {
+	x := Full(3.5, 2, 2)
+	for _, v := range x.Data {
+		if v != 3.5 {
+			t.Fatalf("Full element = %v, want 3.5", v)
+		}
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4, 5)
+	x.Set(7, 2, 1, 3)
+	if got := x.At(2, 1, 3); got != 7 {
+		t.Fatalf("At after Set = %v, want 7", got)
+	}
+	// Row-major layout check: offset of (2,1,3) is 2*20 + 1*5 + 3 = 48.
+	if x.Data[48] != 7 {
+		t.Fatalf("row-major offset wrong: Data[48] = %v", x.Data[48])
+	}
+}
+
+func TestAtPanicsOutOfBounds(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Data[0] = 99
+	if x.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy data")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	if y.At(2, 1) != 6 {
+		t.Fatalf("reshaped At(2,1) = %v, want 6", y.At(2, 1))
+	}
+	// Shares data.
+	y.Data[0] = 10
+	if x.Data[0] != 10 {
+		t.Fatal("Reshape must share data")
+	}
+}
+
+func TestReshapeInfer(t *testing.T) {
+	x := New(4, 6)
+	y := x.Reshape(2, -1)
+	if y.Shape[1] != 12 {
+		t.Fatalf("inferred dim = %d, want 12", y.Shape[1])
+	}
+	z := x.Reshape(-1)
+	if z.Shape[0] != 24 {
+		t.Fatalf("inferred flat dim = %d, want 24", z.Shape[0])
+	}
+}
+
+func TestReshapePanicsOnIncompatible(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incompatible reshape")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestReshapePanicsOnDoubleInfer(t *testing.T) {
+	x := New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for two -1 dims")
+		}
+	}()
+	x.Reshape(-1, -1)
+}
+
+func TestZeroFillCopy(t *testing.T) {
+	x := Full(5, 4)
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+	x.Fill(2)
+	y := New(4)
+	y.CopyFrom(x)
+	for _, v := range y.Data {
+		if v != 2 {
+			t.Fatal("CopyFrom failed")
+		}
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Fatal("identical shapes reported different")
+	}
+	if New(2, 3).SameShape(New(3, 2)) {
+		t.Fatal("different shapes reported same")
+	}
+	if New(6).SameShape(New(2, 3)) {
+		t.Fatal("different ranks reported same")
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	x := FromSlice([]float32{3, 4}, 2)
+	if got := x.L2Norm(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("L2Norm = %v, want 5", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	x := FromSlice([]float32{1, -7, 3}, 3)
+	if got := x.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %v, want 7", got)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	if x.HasNaN() {
+		t.Fatal("finite tensor reported NaN")
+	}
+	x.Data[1] = float32(math.NaN())
+	if !x.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	x.Data[1] = float32(math.Inf(1))
+	if !x.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small := FromSlice([]float32{1, 2}, 2)
+	if s := small.String(); s == "" {
+		t.Fatal("empty String for small tensor")
+	}
+	large := New(100)
+	if s := large.String(); s == "" {
+		t.Fatal("empty String for large tensor")
+	}
+}

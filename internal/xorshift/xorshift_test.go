@@ -1,0 +1,209 @@
+package xorshift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestState32NonZero(t *testing.T) {
+	g := NewState32(0)
+	if g.s == 0 {
+		t.Fatal("zero seed must be remapped to a non-zero state")
+	}
+	for i := 0; i < 1000; i++ {
+		if g.Next() == 0 {
+			t.Fatal("xorshift32 must never emit state 0")
+		}
+	}
+}
+
+func TestState32KnownSequence(t *testing.T) {
+	// Hand-computed first step of xorshift32(13,17,5) from seed 1:
+	// x=1; x^=x<<13 -> 0x2001; x^=x>>17 -> 0x2001; x^=x<<5 -> 0x42021.
+	g := NewState32(1)
+	if got := g.Next(); got != 0x42021 {
+		t.Fatalf("first output from seed 1 = %#x, want 0x42021", got)
+	}
+}
+
+func TestState64NonZero(t *testing.T) {
+	g := NewState64(0)
+	if g.s == 0 {
+		t.Fatal("zero seed must be remapped to a non-zero state")
+	}
+}
+
+func TestState64Period(t *testing.T) {
+	// The state must never return to the start within a modest horizon.
+	g := NewState64(12345)
+	start := g.s
+	for i := 0; i < 100000; i++ {
+		g.Next()
+		if g.s == start {
+			t.Fatalf("state returned to start after %d steps", i+1)
+		}
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	g := NewState64(7)
+	for i := 0; i < 10000; i++ {
+		f := g.Float32()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := NewState64(7)
+	for i := 0; i < 10000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestUint32nRange(t *testing.T) {
+	g := NewState64(99)
+	for _, n := range []uint32{1, 2, 3, 10, 1000, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := g.Uint32n(n)
+			if v >= n {
+				t.Fatalf("Uint32n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	if g.Uint32n(0) != 0 {
+		t.Fatal("Uint32n(0) must return 0")
+	}
+}
+
+func TestUint32nCoversAllValues(t *testing.T) {
+	g := NewState64(3)
+	seen := make(map[uint32]bool)
+	for i := 0; i < 10000; i++ {
+		seen[g.Uint32n(8)] = true
+	}
+	for v := uint32(0); v < 8; v++ {
+		if !seen[v] {
+			t.Fatalf("value %d never produced by Uint32n(8)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	g := NewState64(42)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := g.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("NormFloat64 mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("NormFloat64 variance = %v, want ~1", variance)
+	}
+}
+
+func TestIndexedUint32Deterministic(t *testing.T) {
+	// Order independence: accessing indices in any order yields the same
+	// values. This is the property DropBack regeneration depends on.
+	f := func(seed, index uint64) bool {
+		a := IndexedUint32(seed, index)
+		// interleave unrelated accesses
+		_ = IndexedUint32(seed+1, index)
+		_ = IndexedUint32(seed, index+1)
+		b := IndexedUint32(seed, index)
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedUint32DistinctAcrossIndices(t *testing.T) {
+	seen := make(map[uint32]int)
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		seen[IndexedUint32(1, i)]++
+	}
+	// Collisions should be rare (birthday bound ~ n^2/2^33 ≈ 0.3 expected).
+	collisions := n - len(seen)
+	if collisions > 5 {
+		t.Fatalf("too many collisions across indices: %d", collisions)
+	}
+}
+
+func TestIndexedNormalMoments(t *testing.T) {
+	const n = 200000
+	var sum, sumSq, sumCube float64
+	for i := uint64(0); i < n; i++ {
+		x := float64(IndexedNormal(5, i))
+		sum += x
+		sumSq += x * x
+		sumCube += x * x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	skew := (sumCube/n - 3*mean*variance - mean*mean*mean) / math.Pow(variance, 1.5)
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("IndexedNormal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("IndexedNormal variance = %v, want ~1", variance)
+	}
+	if math.Abs(skew) > 0.05 {
+		t.Errorf("IndexedNormal skew = %v, want ~0", skew)
+	}
+}
+
+func TestIndexedNormalDeterministic(t *testing.T) {
+	f := func(seed, index uint64) bool {
+		return IndexedNormal(seed, index) == IndexedNormal(seed, index)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedUniformRange(t *testing.T) {
+	f := func(seed, index uint64) bool {
+		u := IndexedUniform(seed, index)
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexedStreamsDecorrelated(t *testing.T) {
+	// Adjacent seeds must not produce correlated streams.
+	const n = 20000
+	var dot, nrmA, nrmB float64
+	for i := uint64(0); i < n; i++ {
+		a := float64(IndexedNormal(100, i))
+		b := float64(IndexedNormal(101, i))
+		dot += a * b
+		nrmA += a * a
+		nrmB += b * b
+	}
+	corr := dot / math.Sqrt(nrmA*nrmB)
+	if math.Abs(corr) > 0.03 {
+		t.Fatalf("adjacent-seed streams correlated: r = %v", corr)
+	}
+}
+
+func TestOpsPerRegeneration(t *testing.T) {
+	intOps, floatOps := OpsPerRegeneration()
+	if intOps != 6 || floatOps != 1 {
+		t.Fatalf("ops = (%d, %d), want (6, 1) per the paper", intOps, floatOps)
+	}
+}

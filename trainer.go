@@ -1,0 +1,439 @@
+package dropback
+
+import (
+	"fmt"
+	"math"
+
+	"dropback/internal/core"
+	"dropback/internal/data"
+	"dropback/internal/metrics"
+	"dropback/internal/nn"
+	"dropback/internal/optim"
+	"dropback/internal/prune"
+	"dropback/internal/stats"
+)
+
+// Method selects the training regime.
+type Method int
+
+const (
+	// MethodBaseline is unconstrained SGD (the paper's "Baseline" rows).
+	MethodBaseline Method = iota
+	// MethodDropBack applies the paper's contribution: top-k accumulated-
+	// gradient tracking with on-the-fly regeneration of untracked weights.
+	MethodDropBack
+	// MethodMagnitude keeps only the highest-|w| weights each iteration.
+	MethodMagnitude
+	// MethodVariational trains with variational-dropout layers (the model
+	// must be built with the variational factory) and KL-driven sparsity.
+	MethodVariational
+	// MethodSlimming trains with L1-penalized BN scales, prunes channels
+	// at SlimPruneAtEpoch, and fine-tunes.
+	MethodSlimming
+	// MethodDSD is dense-sparse-dense training (Han et al. 2017), the
+	// regularizer §2.2 contrasts DropBack with: a sparse phase between two
+	// dense phases, dense weight memory throughout, final model dense.
+	MethodDSD
+)
+
+// String returns the method's display name as used in the paper's tables.
+func (m Method) String() string {
+	switch m {
+	case MethodBaseline:
+		return "Baseline"
+	case MethodDropBack:
+		return "DropBack"
+	case MethodMagnitude:
+		return "Mag Pruning"
+	case MethodVariational:
+		return "Var. Dropout"
+	case MethodSlimming:
+		return "Slimming"
+	case MethodDSD:
+		return "DSD"
+	default:
+		return "Unknown"
+	}
+}
+
+// TrainConfig parameterizes a Train run.
+type TrainConfig struct {
+	// Method selects the regime; method-specific fields below.
+	Method Method
+	// Epochs is the training length; BatchSize the mini-batch size.
+	Epochs    int
+	BatchSize int
+	// Schedule is the learning-rate schedule (defaults to the paper's
+	// MNIST schedule: 0.4 decayed ×0.5).
+	Schedule optim.Schedule
+	// Seed drives batching order; the model's own seed drives weights.
+	Seed uint64
+	// Patience stops training after this many epochs without a validation
+	// improvement, mirroring the paper's best-epoch selection ("after 5
+	// epochs of no improvement"). 0 disables early stopping.
+	Patience int
+
+	// Budget is DropBack's tracked-weight count k.
+	Budget int
+	// FreezeAfterEpoch freezes DropBack's tracked set after that epoch
+	// (negative: never).
+	FreezeAfterEpoch int
+	// Strategy selects DropBack's top-k engine.
+	Strategy core.TopKStrategy
+
+	// PruneFraction is the magnitude baseline's per-iteration prune share.
+	PruneFraction float64
+
+	// KLScale scales the variational-dropout KL penalty (≈1/train-size).
+	KLScale float32
+
+	// SlimLambda is slimming's L1 strength; SlimPruneFraction its channel
+	// prune share; SlimPruneAtEpoch when the prune-then-fine-tune switch
+	// happens.
+	SlimLambda        float32
+	SlimPruneFraction float64
+	SlimPruneAtEpoch  int
+
+	// DSDSparseFraction is DSD's masked share (0.3–0.5 typical); the
+	// sparse phase spans [DSDSparseStart, DSDSparseEnd) epochs.
+	DSDSparseFraction float64
+	DSDSparseStart    int
+	DSDSparseEnd      int
+
+	// SnapshotEvery records a full weight snapshot (for diffusion/PCA)
+	// every N steps; 0 disables. Snapshots are memory-hungry: use only
+	// with small models.
+	SnapshotEvery int
+	// MaxSnapshots bounds the number of stored snapshots (0 = no bound).
+	MaxSnapshots int
+	// SnapshotParams, if non-nil, restricts snapshots and diffusion
+	// tracking to parameters whose name it accepts. Used to compare weight
+	// trajectories across methods whose parameter sets differ (a
+	// variational model carries an extra logα tensor per layer that a
+	// standard model lacks).
+	SnapshotParams func(name string) bool
+	// Quiet suppresses per-epoch progress lines.
+	Quiet bool
+	// Progress, if non-nil, receives per-epoch progress lines.
+	Progress func(string)
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch     int
+	LR        float32
+	TrainLoss float64
+	TrainAcc  float64
+	ValLoss   float64
+	ValAcc    float64
+}
+
+// Result is the outcome of a Train run, carrying the telemetry the paper's
+// tables and figures are built from.
+type Result struct {
+	Method  Method
+	History []EpochStats
+	// BestEpoch is the 1-based epoch with the highest validation accuracy.
+	BestEpoch  int
+	BestValAcc float64
+	// BestValErr = 1 − BestValAcc, the tables' "Validation Error" column.
+	BestValErr float64
+	// Compression is the weight-compression factor of the method's final
+	// state (1 for baseline).
+	Compression float64
+	// Diverged is set when training produced NaN/Inf (the paper reports
+	// variational dropout diverging on Densenet and WRN as "90%" error).
+	Diverged bool
+
+	// SwapHistory is DropBack's per-step tracked-set entry count (Fig 2).
+	SwapHistory []int
+	// AccumulatedGradients is the final |W_t − W_0| vector (Fig 1).
+	AccumulatedGradients []float32
+	// Retention is DropBack's per-layer tracked-weight breakdown (Table 2).
+	Retention []core.LayerRetention
+	// Regenerations counts untracked-weight regenerations performed.
+	Regenerations int64
+
+	// DiffusionSteps/DiffusionDist is the ‖w_t − w_0‖ series (Fig 5).
+	DiffusionSteps []int
+	DiffusionDist  []float64
+	// Snapshots are the recorded weight vectors (Fig 6's PCA input).
+	Snapshots     [][]float32
+	SnapshotSteps []int
+}
+
+// Train runs the configured regime on the model and returns the result.
+// The model must be built with variational layers when Method is
+// MethodVariational.
+func Train(m *Model, train, val *Dataset, cfg TrainConfig) *Result {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		panic("dropback: Epochs and BatchSize must be positive")
+	}
+	if cfg.Schedule == nil {
+		// Default: the paper's step-decay shape (×0.5, four decays) spread
+		// over the configured epochs, at an initial rate suited to the
+		// synthetic datasets. Pass optim.PaperMNIST()/PaperCIFAR() to use
+		// the paper's exact schedules.
+		every := cfg.Epochs / 5
+		if every < 1 {
+			every = 1
+		}
+		cfg.Schedule = optim.StepDecay{Initial: 0.1, Factor: 0.5, Every: every, MaxDecays: 4}
+	}
+	res := &Result{Method: cfg.Method, Compression: 1}
+
+	var (
+		db   *core.DropBack
+		mag  *prune.Magnitude
+		vd   *prune.VD
+		slim *prune.Slimming
+		dsd  *prune.DSD
+	)
+	switch cfg.Method {
+	case MethodDropBack:
+		db = core.New(m.Set, core.Config{
+			Budget:           cfg.Budget,
+			FreezeAfterEpoch: cfg.FreezeAfterEpoch,
+			Strategy:         cfg.Strategy,
+		})
+	case MethodMagnitude:
+		mag = prune.NewMagnitude(m.Set, cfg.PruneFraction)
+	case MethodVariational:
+		vd = prune.NewVD(m.Net, cfg.KLScale)
+		if vd.LayerCount() == 0 {
+			panic("dropback: MethodVariational requires a model built with variational layers")
+		}
+	case MethodSlimming:
+		slim = prune.NewSlimming(m.Net, cfg.SlimLambda, cfg.SlimPruneFraction)
+	case MethodDSD:
+		dsd = prune.NewDSD(m.Set, cfg.DSDSparseFraction)
+	}
+
+	batcher := data.NewBatcher(train, cfg.BatchSize, cfg.Seed^0xBA7C4)
+	sgd := optim.NewSGD(0)
+	diff := stats.NewDiffusion(filteredSnapshot(m.Set, cfg.SnapshotParams))
+	diff.Record(0, filteredSnapshot(m.Set, cfg.SnapshotParams))
+	maybeSnapshot(res, cfg, 0, m.Set)
+
+	step := 0
+	sinceBest := 0
+	bestSnapshot := m.Set.Snapshot()
+	var bestBNState [][]float32
+
+epochs:
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sgd.LR = cfg.Schedule.At(epoch)
+		if dsd != nil {
+			if epoch == cfg.DSDSparseStart && !dsd.Sparse() {
+				dsd.BeginSparsePhase()
+			}
+			if epoch == cfg.DSDSparseEnd && dsd.Sparse() {
+				dsd.EndSparsePhase()
+			}
+		}
+		var lossSum, accSum float64
+		nb := batcher.BatchesPerEpoch()
+		for b := 0; b < nb; b++ {
+			x, y := batcher.Next()
+			loss, acc := m.Step(x, y)
+			if math.IsNaN(loss) || math.IsInf(loss, 0) {
+				res.Diverged = true
+				break epochs
+			}
+			lossSum += loss
+			accSum += acc
+			if vd != nil {
+				vd.AddKLGrads()
+			}
+			if slim != nil && !slim.Pruned() {
+				slim.AddL1Grads()
+			}
+			sgd.Step(m.Set)
+			switch {
+			case db != nil:
+				db.Apply()
+			case mag != nil:
+				mag.Apply()
+			case vd != nil:
+				vd.AfterStep()
+			case slim != nil:
+				slim.AfterStep()
+			case dsd != nil:
+				dsd.AfterStep()
+			}
+			step++
+			if cfg.SnapshotEvery > 0 && step%cfg.SnapshotEvery == 0 {
+				diff.Record(step, filteredSnapshot(m.Set, cfg.SnapshotParams))
+				maybeSnapshot(res, cfg, step, m.Set)
+			}
+		}
+		if db != nil {
+			db.MaybeFreezeAtEpochEnd(epoch)
+		}
+		if slim != nil && !slim.Pruned() && epoch >= cfg.SlimPruneAtEpoch {
+			slim.Prune()
+		}
+		valLoss, valAcc := Evaluate(m, val, cfg.BatchSize)
+		if math.IsNaN(valLoss) || math.IsInf(valLoss, 0) {
+			res.Diverged = true
+			break
+		}
+		es := EpochStats{
+			Epoch: epoch + 1, LR: sgd.LR,
+			TrainLoss: lossSum / float64(nb), TrainAcc: accSum / float64(nb),
+			ValLoss: valLoss, ValAcc: valAcc,
+		}
+		res.History = append(res.History, es)
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("epoch %3d lr %.4f train loss %.4f acc %.4f | val loss %.4f acc %.4f",
+				es.Epoch, es.LR, es.TrainLoss, es.TrainAcc, es.ValLoss, es.ValAcc))
+		}
+		if valAcc > res.BestValAcc {
+			res.BestValAcc = valAcc
+			res.BestEpoch = epoch + 1
+			sinceBest = 0
+			bestSnapshot = m.Set.Snapshot()
+			bestBNState = captureBNState(m.Net)
+		} else {
+			sinceBest++
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+
+	// Restore the best weights so the returned model matches BestValAcc.
+	if res.BestEpoch > 0 {
+		m.Set.Restore(bestSnapshot)
+		restoreBNState(m.Net, bestBNState)
+	}
+	res.BestValErr = 1 - res.BestValAcc
+	if res.Diverged && res.BestValAcc == 0 {
+		res.BestValErr = 0.9 // the paper reports diverged runs as "90%"
+	}
+
+	res.DiffusionSteps, res.DiffusionDist = diff.Series()
+	switch {
+	case db != nil:
+		res.Compression = db.CompressionRatio()
+		res.SwapHistory = db.SwapHistory()
+		res.AccumulatedGradients = db.AccumulatedGradients()
+		res.Retention = db.RetentionByLayer()
+		res.Regenerations = db.Regenerations()
+	case mag != nil:
+		res.Compression = mag.CompressionRatio()
+	case vd != nil:
+		res.Compression = vd.CompressionRatio()
+	case slim != nil:
+		res.Compression = slim.CompressionRatio()
+	case dsd != nil:
+		res.Compression = dsd.CompressionRatio()
+	}
+	return res
+}
+
+// maybeSnapshot appends a weight snapshot to the result, respecting the
+// MaxSnapshots bound.
+func maybeSnapshot(res *Result, cfg TrainConfig, step int, set *nn.ParamSet) {
+	if cfg.SnapshotEvery <= 0 {
+		return
+	}
+	if cfg.MaxSnapshots > 0 && len(res.Snapshots) >= cfg.MaxSnapshots {
+		return
+	}
+	res.Snapshots = append(res.Snapshots, filteredSnapshot(set, cfg.SnapshotParams))
+	res.SnapshotSteps = append(res.SnapshotSteps, step)
+}
+
+// filteredSnapshot copies current parameter values in registration order,
+// restricted to parameters the filter accepts (nil accepts all).
+func filteredSnapshot(set *nn.ParamSet, filter func(string) bool) []float32 {
+	if filter == nil {
+		return set.Snapshot()
+	}
+	var out []float32
+	for _, p := range set.Params() {
+		if filter(p.Name) {
+			out = append(out, p.Value.Data...)
+		}
+	}
+	return out
+}
+
+// captureBNState copies every BatchNorm's running statistics, which live
+// outside the parameter set but matter for evaluation.
+func captureBNState(root nn.Layer) [][]float32 {
+	var out [][]float32
+	nn.Walk(root, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm); ok {
+			s := make([]float32, 0, 2*bn.C)
+			s = append(s, bn.RunningMean...)
+			s = append(s, bn.RunningVar...)
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// restoreBNState writes back statistics captured by captureBNState.
+func restoreBNState(root nn.Layer, state [][]float32) {
+	if state == nil {
+		return
+	}
+	i := 0
+	nn.Walk(root, func(l nn.Layer) {
+		if bn, ok := l.(*nn.BatchNorm); ok {
+			if i < len(state) {
+				copy(bn.RunningMean, state[i][:bn.C])
+				copy(bn.RunningVar, state[i][bn.C:])
+			}
+			i++
+		}
+	})
+}
+
+// Confusion is a square confusion matrix with per-class statistics.
+type Confusion = metrics.Confusion
+
+// EvaluateDetailed runs inference over a dataset and returns the full
+// confusion matrix (per-class precision/recall, most-confused pairs)
+// instead of a single accuracy number.
+func EvaluateDetailed(m *Model, ds *Dataset, batchSize int) *Confusion {
+	c := metrics.NewConfusion(ds.Classes)
+	if batchSize <= 0 || batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	for lo := 0; lo < ds.Len(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		x, y := ds.Batch(lo, hi)
+		c.Add(m.Net.Forward(x, false), y)
+	}
+	return c
+}
+
+// Evaluate computes loss and accuracy over a dataset in mini-batches.
+func Evaluate(m *Model, ds *Dataset, batchSize int) (loss, acc float64) {
+	if ds.Len() == 0 {
+		return 0, 0
+	}
+	if batchSize <= 0 || batchSize > ds.Len() {
+		batchSize = ds.Len()
+	}
+	var lossSum, accSum float64
+	n := 0
+	for lo := 0; lo < ds.Len(); lo += batchSize {
+		hi := lo + batchSize
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		x, y := ds.Batch(lo, hi)
+		l, a := m.Eval(x, y)
+		lossSum += l * float64(hi-lo)
+		accSum += a * float64(hi-lo)
+		n += hi - lo
+	}
+	return lossSum / float64(n), accSum / float64(n)
+}
