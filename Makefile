@@ -1,0 +1,44 @@
+# Mirrors .github/workflows/ci.yml so contributors can run the exact CI
+# gate locally with `make check`.
+
+GO ?= go
+
+.PHONY: check build fmt-check fmt vet test race bench bench-telemetry clean
+
+check: build fmt-check vet test race bench
+
+build:
+	$(GO) build ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/tensor ./internal/core .
+
+# One iteration per benchmark: a smoke test that every benchmark still runs.
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# The CI telemetry export: a short DropBack run that emits the JSONL stream
+# and the BENCH_telemetry.json benchmark-trajectory artifact.
+bench-telemetry:
+	$(GO) run ./cmd/dropback -model mnist100 -method dropback \
+		-budget 10000 -epochs 3 -samples 800 \
+		-telemetry telemetry.jsonl -telemetry-summary \
+		-bench-out BENCH_telemetry.json
+
+clean:
+	rm -f telemetry.jsonl BENCH_telemetry.json cpu.pprof heap.pprof

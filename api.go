@@ -26,6 +26,7 @@ import (
 	"dropback/internal/models"
 	"dropback/internal/nn"
 	"dropback/internal/prune"
+	"dropback/internal/telemetry"
 )
 
 // Model is a network body plus loss head and flat parameter space.
@@ -33,6 +34,29 @@ type Model = nn.Model
 
 // Dataset is an in-memory labeled dataset.
 type Dataset = data.Dataset
+
+// TelemetryRecorder receives training telemetry (per-layer span timings,
+// step/epoch samples, counters, gauges); set TrainConfig.Telemetry to one.
+type TelemetryRecorder = telemetry.Recorder
+
+// TelemetryCollector is the standard recorder: it aggregates layer timings
+// and step latency quantiles, and can stream JSONL, print a summary table,
+// and export benchmark entries.
+type TelemetryCollector = telemetry.Collector
+
+// TelemetryOptions configures a TelemetryCollector.
+type TelemetryOptions = telemetry.CollectorOptions
+
+// NewTelemetryCollector builds an enabled telemetry collector.
+func NewTelemetryCollector(opts TelemetryOptions) *TelemetryCollector {
+	return telemetry.NewCollector(opts)
+}
+
+// InstrumentModel installs (or, with a nil recorder, removes) telemetry
+// instrumentation on every layer container of the model. Train does this
+// automatically for TrainConfig.Telemetry; call it directly to time
+// inference-only flows such as Evaluate.
+func InstrumentModel(m *Model, rec TelemetryRecorder) { nn.Instrument(m.Net, rec) }
 
 // MNISTLike generates the synthetic MNIST stand-in dataset (28×28×1,
 // 10 classes); see DESIGN.md §1 for the substitution rationale.

@@ -18,6 +18,8 @@ import (
 	"os"
 
 	"dropback"
+	"dropback/internal/nn"
+	"dropback/internal/telemetry"
 )
 
 func main() {
@@ -27,11 +29,28 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "model seed used at training time")
 		samples  = flag.Int("samples", 500, "synthetic evaluation samples")
 		dataSeed = flag.Uint64("data-seed", 1, "synthetic dataset seed")
+		telJSONL = flag.String("telemetry", "", "write a JSONL stream of per-layer inference timings to this path")
+		telTable = flag.Bool("telemetry-summary", false, "print the per-layer inference timing table")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this path")
 	)
 	flag.Parse()
 	if *artifact == "" {
 		fmt.Fprintln(os.Stderr, "missing -artifact")
 		os.Exit(1)
+	}
+
+	if *cpuProf != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	art, err := dropback.LoadSparse(*artifact)
@@ -51,6 +70,23 @@ func main() {
 	fmt.Printf("artifact: %d of %d weights stored (%.1fx compression), %d bytes\n",
 		art.StoredWeights(), art.TotalParams, art.CompressionRatio(), art.StorageBytes())
 
+	var collector *telemetry.Collector
+	var telFile *os.File
+	if *telJSONL != "" || *telTable {
+		opts := telemetry.CollectorOptions{Label: *model + "/infer"}
+		if *telJSONL != "" {
+			f, err := os.Create(*telJSONL)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			telFile = f
+			opts.Sink = f
+		}
+		collector = telemetry.NewCollector(opts)
+		nn.Instrument(m.Net, collector)
+	}
+
 	var ds *dropback.Dataset
 	if imageModel {
 		ds = dropback.CIFARLikeSized(*samples, 12, *dataSeed)
@@ -66,6 +102,30 @@ func main() {
 	fmt.Println("most confused class pairs:")
 	for _, p := range conf.MostConfused(3) {
 		fmt.Printf("  actual %d -> predicted %d: %d times\n", p.Actual, p.Predicted, p.Count)
+	}
+
+	if collector != nil {
+		nn.Instrument(m.Net, nil)
+		if err := collector.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if telFile != nil {
+			if err := telFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("telemetry stream written to %s\n", *telJSONL)
+		}
+		if *telTable {
+			collector.WriteSummary(os.Stdout)
+		}
+	}
+	if *memProf != "" {
+		if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"dropback"
 	"dropback/internal/core"
 	"dropback/internal/optim"
+	"dropback/internal/telemetry"
 )
 
 func main() {
@@ -43,8 +44,27 @@ func main() {
 		saveCkpt = flag.String("save-checkpoint", "", "write a dense checkpoint of the trained model to this path")
 		loadCkpt = flag.String("load-checkpoint", "", "initialize the model from a dense checkpoint before training")
 		exportSp = flag.String("export-sparse", "", "write the sparse deployment artifact to this path")
+		telJSONL = flag.String("telemetry", "", "write a JSONL telemetry stream (layer timings, step samples, gauges) to this path")
+		telTable = flag.Bool("telemetry-summary", false, "print the telemetry summary table after training")
+		telEvery = flag.Int("telemetry-step-every", 1, "thin per-step JSONL records to every Nth step")
+		benchOut = flag.String("bench-out", "", "write BENCH_telemetry.json benchmark entries to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this path")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	variational := *method == "variational"
 	m, imageModel, err := buildModel(*model, *seed, variational)
@@ -101,6 +121,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	var collector *telemetry.Collector
+	var telFile *os.File
+	if *telJSONL != "" || *telTable || *benchOut != "" {
+		opts := telemetry.CollectorOptions{StepEvery: *telEvery, Label: *model + "/" + *method}
+		if *telJSONL != "" {
+			f, err := os.Create(*telJSONL)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			telFile = f
+			opts.Sink = f
+		}
+		collector = telemetry.NewCollector(opts)
+		cfg.Telemetry = collector
+	}
+
 	fmt.Printf("model %s (%d params), method %s, %d train / %d val samples\n",
 		*model, m.Set.Total(), cfg.Method, train.Len(), val.Len())
 	res := dropback.Train(m, train, val, cfg)
@@ -131,6 +168,36 @@ func main() {
 		}
 		fmt.Printf("sparse artifact written to %s: %d weights, %d bytes (dense %d bytes)\n",
 			*exportSp, art.StoredWeights(), art.StorageBytes(), art.DenseStorageBytes())
+	}
+	if collector != nil {
+		if err := collector.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if telFile != nil {
+			if err := telFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("telemetry stream written to %s\n", *telJSONL)
+		}
+		if *telTable {
+			collector.WriteSummary(os.Stdout)
+		}
+		if *benchOut != "" {
+			prefix := *model + "/"
+			if err := telemetry.WriteBench(*benchOut, collector.BenchEntries(prefix)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("benchmark entries written to %s\n", *benchOut)
+		}
+	}
+	if *memProf != "" {
+		if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

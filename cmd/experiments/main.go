@@ -6,6 +6,12 @@
 //	experiments -run table1         # one artifact
 //	experiments -run fig5 -quick    # benchmark-sized variant
 //	experiments -list               # show the registry
+//
+// Telemetry and profiling:
+//
+//	experiments -run table1 -telemetry run.jsonl -telemetry-summary
+//	experiments -run fig1 -quick -bench-out BENCH_telemetry.json
+//	experiments -run all -cpuprofile cpu.pprof -memprofile heap.pprof
 package main
 
 import (
@@ -14,16 +20,23 @@ import (
 	"os"
 
 	"dropback/internal/experiments"
+	"dropback/internal/telemetry"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment id to run (or \"all\")")
-		quick   = flag.Bool("quick", false, "benchmark-sized datasets and epoch counts")
-		seed    = flag.Uint64("seed", 42, "global random seed")
-		verbose = flag.Bool("v", false, "echo per-epoch training progress")
-		list    = flag.Bool("list", false, "list the experiment registry and exit")
-		csvDir  = flag.String("csv", "", "directory to write per-figure CSV series into (optional)")
+		run      = flag.String("run", "all", "experiment id to run (or \"all\")")
+		quick    = flag.Bool("quick", false, "benchmark-sized datasets and epoch counts")
+		seed     = flag.Uint64("seed", 42, "global random seed")
+		verbose  = flag.Bool("v", false, "echo per-epoch training progress")
+		list     = flag.Bool("list", false, "list the experiment registry and exit")
+		csvDir   = flag.String("csv", "", "directory to write per-figure CSV series into (optional)")
+		telJSONL = flag.String("telemetry", "", "write a JSONL telemetry stream (layer timings, step samples, gauges) to this path")
+		telTable = flag.Bool("telemetry-summary", false, "print the telemetry summary table after the run")
+		telEvery = flag.Int("telemetry-step-every", 1, "thin per-step JSONL records to every Nth step")
+		benchOut = flag.String("bench-out", "", "write BENCH_telemetry.json benchmark entries to this path")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this path")
 	)
 	flag.Parse()
 
@@ -34,6 +47,19 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuProf != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	opt := experiments.Options{
 		Seed:    *seed,
 		Quick:   *quick,
@@ -41,8 +67,55 @@ func main() {
 		Verbose: *verbose,
 		CSVDir:  *csvDir,
 	}
-	if err := experiments.RunByID(*run, opt); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	var collector *telemetry.Collector
+	var telFile *os.File
+	if *telJSONL != "" || *telTable || *benchOut != "" {
+		opts := telemetry.CollectorOptions{StepEvery: *telEvery, Label: "experiments/" + *run}
+		if *telJSONL != "" {
+			f, err := os.Create(*telJSONL)
+			if err != nil {
+				fatal(err)
+			}
+			telFile = f
+			opts.Sink = f
+		}
+		collector = telemetry.NewCollector(opts)
+		opt.Telemetry = collector
 	}
+
+	if err := experiments.RunByID(*run, opt); err != nil {
+		fatal(err)
+	}
+
+	if collector != nil {
+		if err := collector.Flush(); err != nil {
+			fatal(err)
+		}
+		if telFile != nil {
+			if err := telFile.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("telemetry stream written to %s\n", *telJSONL)
+		}
+		if *telTable {
+			collector.WriteSummary(os.Stdout)
+		}
+		if *benchOut != "" {
+			if err := telemetry.WriteBench(*benchOut, collector.BenchEntries(*run+"/")); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("benchmark entries written to %s\n", *benchOut)
+		}
+	}
+	if *memProf != "" {
+		if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

@@ -9,8 +9,10 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"dropback"
+	"dropback/internal/telemetry"
 )
 
 func main() {
@@ -30,10 +32,15 @@ func main() {
 	cfg.Method = dropback.MethodBaseline
 	rBase := dropback.Train(build(), train, val, cfg)
 
+	// Time the DropBack run layer by layer: on a convolutional network the
+	// conv backward passes dominate, which is exactly the breakdown a
+	// future perf PR needs as its baseline.
+	collector := telemetry.NewCollector(telemetry.CollectorOptions{Label: "cifar_cnn/dropback"})
 	cfg = base
 	cfg.Method = dropback.MethodDropBack
 	cfg.Budget = total / 5
 	cfg.FreezeAfterEpoch = 3
+	cfg.Telemetry = collector
 	rDB := dropback.Train(build(), train, val, cfg)
 
 	cfg = base
@@ -66,4 +73,7 @@ func main() {
 	}
 	fmt.Printf("\nbatch-norm parameters tracked by DropBack: %d of %d (the paper notes BN pruning is unique to DropBack)\n",
 		bnKept, bnTotal)
+
+	fmt.Println()
+	collector.WriteSummary(os.Stdout)
 }

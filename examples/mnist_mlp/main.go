@@ -11,14 +11,34 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"dropback"
+	"dropback/internal/telemetry"
 )
 
 func main() {
 	images := flag.String("images", "", "optional real MNIST IDX image file")
 	labels := flag.String("labels", "", "optional real MNIST IDX label file")
+	telJSONL := flag.String("telemetry", "", "write a JSONL telemetry stream of the whole sweep to this path")
 	flag.Parse()
+
+	// One collector spans the whole sweep, so the summary compares the cost
+	// of the baseline and every DropBack budget in a single table.
+	var collector *telemetry.Collector
+	var telFile *os.File
+	if *telJSONL != "" {
+		f, err := os.Create(*telJSONL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		telFile = f
+		collector = telemetry.NewCollector(telemetry.CollectorOptions{
+			Sink: f, Label: "mnist_mlp-sweep",
+		})
+	} else {
+		collector = telemetry.NewCollector(telemetry.CollectorOptions{Label: "mnist_mlp-sweep"})
+	}
 
 	var ds *dropback.Dataset
 	if *images != "" && *labels != "" {
@@ -39,6 +59,7 @@ func main() {
 		m := dropback.LeNet300100(7)
 		cfg := dropback.TrainConfig{
 			Method: dropback.MethodBaseline, Epochs: 10, BatchSize: 32, Seed: 7, Patience: 4,
+			Telemetry: collector,
 		}
 		if budget > 0 {
 			cfg.Method = dropback.MethodDropBack
@@ -54,4 +75,16 @@ func main() {
 	run("dropback 50k", 50000)
 	run("dropback 20k", 20000)
 	run("dropback 1.5k", 1500)
+
+	fmt.Println()
+	collector.WriteSummary(os.Stdout)
+	if err := collector.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if telFile != nil {
+		if err := telFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("telemetry stream written to %s\n", *telJSONL)
+	}
 }

@@ -7,8 +7,10 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"dropback"
+	"dropback/internal/telemetry"
 )
 
 func main() {
@@ -22,6 +24,12 @@ func main() {
 	model := dropback.MNIST100100(1)
 	fmt.Printf("model has %d parameters\n", model.Set.Total())
 
+	// A telemetry collector records where the training time goes: per-layer
+	// forward/backward spans, step latency quantiles, and DropBack's
+	// tracked-set gauges. It only observes — results are bit-identical with
+	// or without it.
+	collector := telemetry.NewCollector(telemetry.CollectorOptions{Label: "quickstart"})
+
 	// Train with DropBack: only the 10,000 weights with the highest
 	// accumulated gradients keep their updates; all others are regenerated
 	// to their initialization values after every step. The tracked set
@@ -34,6 +42,7 @@ func main() {
 		BatchSize:        32,
 		Seed:             1,
 		Progress:         func(s string) { fmt.Println(s) },
+		Telemetry:        collector,
 	})
 	fmt.Printf("\nDropBack: best epoch %d, validation error %.2f%%, compression %.1fx, %d regenerations\n",
 		res.BestEpoch, res.BestValErr*100, res.Compression, res.Regenerations)
@@ -49,4 +58,9 @@ func main() {
 	for _, r := range res.Retention {
 		fmt.Printf("  %-16s %6d of %6d\n", r.Name, r.Retained, r.Total)
 	}
+
+	// Where did the time go? The summary table breaks the DropBack run down
+	// by layer and phase, and reports throughput and latency quantiles.
+	fmt.Println()
+	collector.WriteSummary(os.Stdout)
 }

@@ -110,7 +110,7 @@ func RunTable3(o Options) Table3Result {
 	}
 	base := dropback.TrainConfig{
 		Epochs: epochs, BatchSize: o.batchSize(), Schedule: sched,
-		Seed: o.Seed, Patience: 0, Progress: progress(o),
+		Seed: o.Seed, Patience: 0, Progress: progress(o), Telemetry: o.Telemetry,
 	}
 	for _, spec := range cifarSpecs(o) {
 		if o.Quick && spec.name != "VGG-S" {
@@ -232,7 +232,7 @@ func RunFig4(o Options) Fig4Result {
 	}
 	base := dropback.TrainConfig{
 		Epochs: epochs, BatchSize: o.batchSize(), Schedule: sched,
-		Seed: o.Seed, Progress: progress(o),
+		Seed: o.Seed, Progress: progress(o), Telemetry: o.Telemetry,
 	}
 	var res Fig4Result
 

@@ -2,25 +2,41 @@ package experiments
 
 import (
 	"math"
+	"time"
 
 	"dropback"
 	"dropback/internal/data"
+	"dropback/internal/nn"
 	"dropback/internal/optim"
+	"dropback/internal/telemetry"
 )
 
 // runBaselineLoop is a minimal unconstrained SGD loop with a per-step
 // observer hook, mirroring the baseline path of dropback.Train. Fig 2 needs
 // it because the paper's telemetry watches the top-k set of a run that is
-// NOT constrained — the public Trainer deliberately has no step hook.
+// NOT constrained — the public Trainer deliberately has no step hook. The
+// loop carries the same telemetry instrumentation as Train so Fig 2 runs
+// also contribute layer timings and step samples.
 func runBaselineLoop(m *dropback.Model, train *dropback.Dataset, cfg dropback.TrainConfig, obs func()) {
 	if cfg.Schedule == nil {
 		cfg.Schedule = optim.PaperMNIST()
 	}
+	rec := telemetry.OrNop(cfg.Telemetry)
+	telemetryOn := rec.Enabled()
+	if telemetryOn {
+		nn.Instrument(m.Net, rec)
+		defer nn.Instrument(m.Net, nil)
+	}
 	batcher := data.NewBatcher(train, cfg.BatchSize, cfg.Seed^0xBA7C4)
 	sgd := optim.NewSGD(0)
+	step := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		sgd.LR = cfg.Schedule.At(epoch)
 		for b := 0; b < batcher.BatchesPerEpoch(); b++ {
+			var stepStart time.Time
+			if telemetryOn {
+				stepStart = time.Now()
+			}
 			x, y := batcher.Next()
 			loss, _ := m.Step(x, y)
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
@@ -29,6 +45,13 @@ func runBaselineLoop(m *dropback.Model, train *dropback.Dataset, cfg dropback.Tr
 			sgd.Step(m.Set)
 			if obs != nil {
 				obs()
+			}
+			step++
+			if telemetryOn {
+				rec.StepDone(telemetry.StepSample{
+					Epoch: epoch + 1, Step: step, Loss: loss,
+					Examples: x.Shape[0], Latency: time.Since(stepStart),
+				})
 			}
 		}
 	}

@@ -71,7 +71,7 @@ func RunFig1(o Options) Fig1Result {
 	dropback.Train(m, train, val, dropback.TrainConfig{
 		Method: dropback.MethodBaseline, Epochs: o.mnistEpochs(),
 		BatchSize: o.batchSize(), Schedule: mnistSchedule(o.mnistEpochs()),
-		Seed: o.Seed, Progress: progress(o),
+		Seed: o.Seed, Progress: progress(o), Telemetry: o.Telemetry,
 	})
 	acc := make([]float32, m.Set.Total())
 	for g := range acc {
@@ -128,7 +128,7 @@ func RunFig2(o Options) Fig2Result {
 	cfg := dropback.TrainConfig{
 		Method: dropback.MethodBaseline, Epochs: o.mnistEpochs(),
 		BatchSize: o.batchSize(), Schedule: mnistSchedule(o.mnistEpochs()),
-		Seed: o.Seed + 1,
+		Seed: o.Seed + 1, Telemetry: o.Telemetry,
 	}
 	trainWithObserver(m, train, val, cfg, func() { tracker.Apply() })
 	hist := tracker.SwapHistory()
@@ -227,6 +227,7 @@ func RunTable1(o Options) Table1Result {
 				Method: dropback.MethodBaseline, Epochs: epochs,
 				BatchSize: o.batchSize(), Schedule: mnistSchedule(epochs),
 				Seed: o.Seed, Patience: 5, Progress: progress(o),
+				Telemetry: o.Telemetry,
 			}
 			freeze := -1
 			if sp.budget > 0 {
@@ -302,6 +303,7 @@ func RunTable2(o Options) Table2Result {
 			FreezeAfterEpoch: scaleEpoch(30, epochs),
 			Epochs:           epochs, BatchSize: o.batchSize(),
 			Schedule: mnistSchedule(epochs), Seed: o.Seed, Progress: progress(o),
+			Telemetry: o.Telemetry,
 		})
 		return r.Retention
 	}
@@ -372,6 +374,7 @@ func RunFig3(o Options) Fig3Result {
 			Method: method, Budget: budget, FreezeAfterEpoch: scaleEpoch(35, epochs),
 			Epochs: epochs, BatchSize: o.batchSize(),
 			Schedule: mnistSchedule(epochs), Seed: o.Seed, Progress: progress(o),
+			Telemetry: o.Telemetry,
 		}
 		r := dropback.Train(m, train, val, cfg)
 		s := Series{Label: method.String()}

@@ -13,6 +13,8 @@ package experiments
 import (
 	"io"
 	"time"
+
+	"dropback/internal/telemetry"
 )
 
 // Options controls experiment scale and output.
@@ -31,6 +33,10 @@ type Options struct {
 	// CSVDir, when non-empty, receives one CSV file per figure series so
 	// the reproduced figures can be re-plotted with external tooling.
 	CSVDir string
+	// Telemetry, when non-nil, receives per-layer span timings and
+	// step/epoch samples from every training run the experiment performs
+	// (threaded into dropback.TrainConfig). Nil disables instrumentation.
+	Telemetry telemetry.Recorder
 }
 
 func (o Options) out() io.Writer {

@@ -40,7 +40,7 @@ func RunTradeoff(o Options) TradeoffResult {
 	}
 	base := dropback.TrainConfig{
 		Epochs: epochs, BatchSize: o.batchSize(), Schedule: mnistSchedule(epochs),
-		Seed: o.Seed, Patience: 0, Progress: progress(o),
+		Seed: o.Seed, Patience: 0, Progress: progress(o), Telemetry: o.Telemetry,
 	}
 	m := dropback.MNIST100100(o.Seed)
 	res := TradeoffResult{Model: "MNIST-100-100", TotalParams: m.Set.Total()}

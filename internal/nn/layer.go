@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"dropback/internal/telemetry"
 	"dropback/internal/tensor"
 )
 
@@ -73,10 +74,14 @@ func (l *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
 // Params implements Layer.
 func (l *Flatten) Params() []*Param { return nil }
 
-// Sequential chains layers, feeding each one's output to the next.
+// Sequential chains layers, feeding each one's output to the next. When a
+// telemetry recorder is installed (see Instrument), it brackets every child
+// layer's Forward/Backward call in a timing span; with no recorder the hot
+// path pays a single nil check.
 type Sequential struct {
 	name   string
 	layers []Layer
+	rec    telemetry.Recorder
 }
 
 // NewSequential returns a sequential container over the given layers.
@@ -93,18 +98,39 @@ func (s *Sequential) Layers() []Layer { return s.layers }
 // Append adds layers to the end of the chain.
 func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
 
+// SetRecorder installs (or, with nil, removes) the telemetry recorder that
+// times this container's children. Instrument applies it to a whole tree.
+func (s *Sequential) SetRecorder(rec telemetry.Recorder) { s.rec = rec }
+
 // Forward implements Layer.
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if s.rec == nil || !s.rec.Enabled() {
+		for _, l := range s.layers {
+			x = l.Forward(x, train)
+		}
+		return x
+	}
 	for _, l := range s.layers {
+		s.rec.BeginSpan(telemetry.PhaseForward, l.Name())
 		x = l.Forward(x, train)
+		s.rec.EndSpan(telemetry.PhaseForward, l.Name())
 	}
 	return x
 }
 
 // Backward implements Layer.
 func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if s.rec == nil || !s.rec.Enabled() {
+		for i := len(s.layers) - 1; i >= 0; i-- {
+			dy = s.layers[i].Backward(dy)
+		}
+		return dy
+	}
 	for i := len(s.layers) - 1; i >= 0; i-- {
-		dy = s.layers[i].Backward(dy)
+		l := s.layers[i]
+		s.rec.BeginSpan(telemetry.PhaseBackward, l.Name())
+		dy = l.Backward(dy)
+		s.rec.EndSpan(telemetry.PhaseBackward, l.Name())
 	}
 	return dy
 }
@@ -179,4 +205,16 @@ func Walk(root Layer, fn func(Layer)) {
 			Walk(u, fn)
 		}
 	}
+}
+
+// Instrument installs rec on every Sequential container reachable from root,
+// so each container times its children's forward/backward passes. Nested
+// containers produce nested spans; the recorder separates self time from
+// child time. Pass nil to strip instrumentation after a run.
+func Instrument(root Layer, rec telemetry.Recorder) {
+	Walk(root, func(l Layer) {
+		if s, ok := l.(*Sequential); ok {
+			s.rec = rec
+		}
+	})
 }

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// BenchEntry is one point of the benchmark trajectory, in the
+// github-action-benchmark "custom" JSON shape so BENCH_telemetry.json can be
+// archived and charted directly by CI tooling.
+type BenchEntry struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+// BenchEntries distills the collector's aggregates into benchmark points:
+// step-latency quantiles, throughput, per-layer per-call cost, and epoch
+// memory telemetry. prefix namespaces the entries (e.g. "mnist100/").
+func (c *Collector) BenchEntries(prefix string) []BenchEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []BenchEntry
+	if c.steps > 0 {
+		out = append(out,
+			BenchEntry{prefix + "step_latency_p50", "ns", float64(c.stepLatency.Quantile(0.5))},
+			BenchEntry{prefix + "step_latency_p95", "ns", float64(c.stepLatency.Quantile(0.95))},
+			BenchEntry{prefix + "step_latency_max", "ns", float64(c.stepLatency.Max())},
+		)
+		if total := time.Duration(c.stepLatency.sum); total > 0 {
+			out = append(out, BenchEntry{prefix + "throughput", "examples/sec",
+				float64(c.examples) / total.Seconds()})
+		}
+	}
+	for _, k := range c.layerOrder {
+		st := c.layers[k]
+		if st.Count == 0 {
+			continue
+		}
+		out = append(out, BenchEntry{
+			Name:  prefix + "layer/" + st.Layer + "/" + st.Phase,
+			Unit:  "ns/call",
+			Value: float64(st.Total) / float64(st.Count),
+		})
+	}
+	if n := len(c.epochs); n > 0 {
+		last := c.epochs[n-1]
+		out = append(out,
+			BenchEntry{prefix + "heap_alloc", "bytes", float64(last.HeapAllocBytes)},
+			BenchEntry{prefix + "epoch_alloc_delta", "bytes", float64(last.AllocDeltaBytes)},
+		)
+	}
+	return out
+}
+
+// WriteBench writes benchmark entries as an indented JSON array — the
+// BENCH_telemetry.json artifact CI archives on every run.
+func WriteBench(path string, entries []BenchEntry) error {
+	if entries == nil {
+		entries = []BenchEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBench reads back a benchmark-entry file (for tests and tooling).
+func ReadBench(path string) ([]BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []BenchEntry
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,349 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LayerStat is the aggregate of every span recorded for one (layer, phase)
+// pair. Total includes time spent in nested child spans (a Sequential's span
+// encloses its children); Self excludes it, so summing Self across all
+// layers of a phase gives that phase's wall time exactly once.
+type LayerStat struct {
+	Layer string        `json:"layer"`
+	Phase string        `json:"phase"`
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Self  time.Duration `json:"self_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// EpochStat is an EpochSample augmented with throughput and the memory
+// telemetry the collector samples at each epoch boundary.
+type EpochStat struct {
+	EpochSample
+	ExamplesPerSec float64 `json:"examples_per_sec"`
+	// HeapAllocBytes is the live heap at the epoch boundary.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// AllocDeltaBytes is cumulative allocation during the epoch.
+	AllocDeltaBytes uint64 `json:"alloc_delta_bytes"`
+	// NumGC is the number of GC cycles completed during the epoch.
+	NumGC uint32 `json:"num_gc"`
+	// GCPause is total stop-the-world pause time accrued during the epoch.
+	GCPause time.Duration `json:"gc_pause_ns"`
+}
+
+// CollectorOptions configures a Collector.
+type CollectorOptions struct {
+	// Sink, when non-nil, receives the live JSONL stream.
+	Sink io.Writer
+	// StepEvery thins the per-step JSONL records to every Nth step
+	// (aggregates still see every step). 0 or 1 writes all of them.
+	StepEvery int
+	// Label annotates the stream's run record.
+	Label string
+}
+
+type layerKey struct {
+	phase Phase
+	name  string
+}
+
+type spanFrame struct {
+	key   layerKey
+	start time.Time
+	child time.Duration
+}
+
+// Collector is the standard Recorder: it aggregates layer spans, step and
+// epoch counters, and memory telemetry, and optionally streams JSONL as it
+// goes. It is safe for concurrent use, though span nesting is tracked per
+// collector — concurrent trainers should each own one.
+type Collector struct {
+	mu    sync.Mutex
+	opts  CollectorOptions
+	out   *JSONLWriter
+	stack []spanFrame
+
+	layers     map[layerKey]*LayerStat
+	layerOrder []layerKey
+
+	stepLatency Histogram
+	steps       int
+	examples    int64
+	lossSum     float64
+
+	counters map[string]float64
+	gauges   map[string]float64
+	epochs   []EpochStat
+
+	lastMem   runtime.MemStats
+	haveMem   bool
+	flushed   bool
+	lastEpoch int
+}
+
+// NewCollector builds an enabled recorder with the given options.
+func NewCollector(opts CollectorOptions) *Collector {
+	c := &Collector{
+		opts:     opts,
+		layers:   make(map[layerKey]*LayerStat),
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+	}
+	if opts.Sink != nil {
+		c.out = NewJSONLWriter(opts.Sink)
+	}
+	return c
+}
+
+// Enabled implements Recorder.
+func (c *Collector) Enabled() bool { return true }
+
+// BeginSpan implements Recorder.
+func (c *Collector) BeginSpan(phase Phase, name string) {
+	c.mu.Lock()
+	c.stack = append(c.stack, spanFrame{key: layerKey{phase, name}, start: time.Now()})
+	c.mu.Unlock()
+}
+
+// EndSpan implements Recorder. Unbalanced EndSpan calls are ignored rather
+// than panicking: telemetry must never take training down.
+func (c *Collector) EndSpan(phase Phase, name string) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.stack)
+	if n == 0 {
+		return
+	}
+	fr := c.stack[n-1]
+	if fr.key.phase != phase || fr.key.name != name {
+		return
+	}
+	c.stack = c.stack[:n-1]
+	total := now.Sub(fr.start)
+	self := total - fr.child
+	if self < 0 {
+		self = 0
+	}
+	if n >= 2 {
+		c.stack[n-2].child += total
+	}
+	st, ok := c.layers[fr.key]
+	if !ok {
+		st = &LayerStat{Layer: name, Phase: phase.String()}
+		c.layers[fr.key] = st
+		c.layerOrder = append(c.layerOrder, fr.key)
+	}
+	st.Count++
+	st.Total += total
+	st.Self += self
+	if total > st.Max {
+		st.Max = total
+	}
+}
+
+// Counter implements Recorder.
+func (c *Collector) Counter(name string, delta float64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge implements Recorder. Each observation is also streamed as a JSONL
+// gauge record, stamped with the most recently completed epoch.
+func (c *Collector) Gauge(name string, v float64) {
+	c.mu.Lock()
+	c.gauges[name] = v
+	g := GaugePoint{Name: name, Epoch: c.lastEpoch + 1, Value: v}
+	c.out.Write(Record{Kind: KindGauge, Gauge: &g})
+	c.mu.Unlock()
+}
+
+// StepDone implements Recorder.
+func (c *Collector) StepDone(s StepSample) {
+	c.mu.Lock()
+	c.stepLatency.Observe(s.Latency)
+	c.steps++
+	c.examples += int64(s.Examples)
+	c.lossSum += s.Loss
+	every := c.opts.StepEvery
+	if every <= 1 || s.Step%every == 0 {
+		ss := s
+		c.out.Write(Record{Kind: KindStep, Step: &ss})
+	}
+	c.mu.Unlock()
+}
+
+// EpochDone implements Recorder. It samples runtime.ReadMemStats and derives
+// per-epoch deltas for allocation volume and GC pauses.
+func (c *Collector) EpochDone(e EpochSample) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.mu.Lock()
+	st := EpochStat{
+		EpochSample:    e,
+		ExamplesPerSec: e.ExamplesPerSec(),
+		HeapAllocBytes: ms.HeapAlloc,
+	}
+	if c.haveMem {
+		st.AllocDeltaBytes = ms.TotalAlloc - c.lastMem.TotalAlloc
+		st.NumGC = ms.NumGC - c.lastMem.NumGC
+		st.GCPause = time.Duration(ms.PauseTotalNs - c.lastMem.PauseTotalNs)
+	}
+	c.lastMem = ms
+	c.haveMem = true
+	c.lastEpoch = e.Epoch
+	c.epochs = append(c.epochs, st)
+	c.out.Write(Record{Kind: KindEpoch, Epoch: &st})
+	c.mu.Unlock()
+}
+
+// LayerStats returns the per-layer aggregates in first-seen order.
+func (c *Collector) LayerStats() []LayerStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LayerStat, 0, len(c.layerOrder))
+	for _, k := range c.layerOrder {
+		out = append(out, *c.layers[k])
+	}
+	return out
+}
+
+// Epochs returns the recorded epoch statistics.
+func (c *Collector) Epochs() []EpochStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]EpochStat(nil), c.epochs...)
+}
+
+// Counters returns a copy of the counter map.
+func (c *Collector) Counters() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of the latest gauge values.
+func (c *Collector) Gauges() map[string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.gauges))
+	for k, v := range c.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Steps returns the number of optimizer steps observed.
+func (c *Collector) Steps() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.steps
+}
+
+// StepLatencyQuantile returns the q-th quantile of observed step latencies.
+func (c *Collector) StepLatencyQuantile(q float64) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stepLatency.Quantile(q)
+}
+
+// ExamplesPerSec returns overall training throughput: total examples over
+// total step latency.
+func (c *Collector) ExamplesPerSec() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := time.Duration(c.stepLatency.sum)
+	if total <= 0 {
+		return 0
+	}
+	return float64(c.examples) / total.Seconds()
+}
+
+// Flush writes the terminal records (per-layer aggregates and the run
+// summary) and drains the JSONL buffer. Safe to call more than once; the
+// terminal records are written only on the first call.
+func (c *Collector) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.flushed {
+		c.flushed = true
+		for _, k := range c.layerOrder {
+			st := *c.layers[k]
+			c.out.Write(Record{Kind: KindLayer, Layer: &st})
+		}
+		run := RunInfo{Label: c.opts.Label, Steps: c.steps, Examples: c.examples}
+		if len(c.counters) > 0 {
+			run.Counters = make(map[string]float64, len(c.counters))
+			for k, v := range c.counters {
+				run.Counters[k] = v
+			}
+		}
+		c.out.Write(Record{Kind: KindRun, Run: &run})
+	}
+	return c.out.Flush()
+}
+
+// WriteSummary renders the human-readable per-run report: step latency
+// quantiles, throughput, the per-layer timing table (sorted by total time,
+// descending), counters, and gauges.
+func (c *Collector) WriteSummary(w io.Writer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(w, "telemetry: %d steps, %d examples\n", c.steps, c.examples)
+	if c.steps > 0 {
+		fmt.Fprintf(w, "  step latency p50 %v  p95 %v  max %v  (mean %v)\n",
+			c.stepLatency.Quantile(0.5).Round(time.Microsecond),
+			c.stepLatency.Quantile(0.95).Round(time.Microsecond),
+			c.stepLatency.Max().Round(time.Microsecond),
+			c.stepLatency.Mean().Round(time.Microsecond))
+		total := time.Duration(c.stepLatency.sum)
+		if total > 0 {
+			fmt.Fprintf(w, "  throughput %.1f examples/sec\n", float64(c.examples)/total.Seconds())
+		}
+	}
+	if len(c.layerOrder) > 0 {
+		fmt.Fprintf(w, "  %-28s %-8s %8s %12s %12s %12s\n", "layer", "phase", "calls", "total", "self", "max")
+		keys := append([]layerKey(nil), c.layerOrder...)
+		sort.SliceStable(keys, func(i, j int) bool {
+			return c.layers[keys[i]].Total > c.layers[keys[j]].Total
+		})
+		for _, k := range keys {
+			st := c.layers[k]
+			fmt.Fprintf(w, "  %-28s %-8s %8d %12v %12v %12v\n",
+				st.Layer, st.Phase, st.Count,
+				st.Total.Round(time.Microsecond), st.Self.Round(time.Microsecond),
+				st.Max.Round(time.Microsecond))
+		}
+	}
+	if len(c.counters) > 0 {
+		names := make([]string, 0, len(c.counters))
+		for n := range c.counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "  counter %-32s %.0f\n", n, c.counters[n])
+		}
+	}
+	if len(c.gauges) > 0 {
+		names := make([]string, 0, len(c.gauges))
+		for n := range c.gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "  gauge   %-32s %.0f\n", n, c.gauges[n])
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingSelfTime(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	c.BeginSpan(PhaseForward, "net")
+	c.BeginSpan(PhaseForward, "net/fc1")
+	busyWork()
+	c.EndSpan(PhaseForward, "net/fc1")
+	c.BeginSpan(PhaseForward, "net/fc2")
+	busyWork()
+	c.EndSpan(PhaseForward, "net/fc2")
+	c.EndSpan(PhaseForward, "net")
+
+	stats := map[string]LayerStat{}
+	for _, st := range c.LayerStats() {
+		stats[st.Layer] = st
+	}
+	outer, ok := stats["net"]
+	if !ok {
+		t.Fatal("outer span missing")
+	}
+	fc1, fc2 := stats["net/fc1"], stats["net/fc2"]
+	if fc1.Count != 1 || fc2.Count != 1 || outer.Count != 1 {
+		t.Fatalf("span counts wrong: %+v", stats)
+	}
+	// The container's total encloses both children; its self time is the
+	// total minus exactly the children's totals.
+	children := fc1.Total + fc2.Total
+	if outer.Total < children {
+		t.Fatalf("outer total %v < children %v", outer.Total, children)
+	}
+	if got, want := outer.Self, outer.Total-children; got != want {
+		t.Fatalf("outer self %v, want total-children %v", got, want)
+	}
+	if fc1.Self != fc1.Total {
+		t.Fatalf("leaf self %v != total %v", fc1.Self, fc1.Total)
+	}
+}
+
+func TestSpanDeepNestingAttributesToImmediateParent(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	c.BeginSpan(PhaseBackward, "a")
+	c.BeginSpan(PhaseBackward, "b")
+	c.BeginSpan(PhaseBackward, "c")
+	busyWork()
+	c.EndSpan(PhaseBackward, "c")
+	c.EndSpan(PhaseBackward, "b")
+	c.EndSpan(PhaseBackward, "a")
+	stats := map[string]LayerStat{}
+	for _, st := range c.LayerStats() {
+		stats[st.Layer] = st
+	}
+	a, b, cc := stats["a"], stats["b"], stats["c"]
+	if a.Self != a.Total-b.Total {
+		t.Fatalf("a self %v want %v", a.Self, a.Total-b.Total)
+	}
+	if b.Self != b.Total-cc.Total {
+		t.Fatalf("b self %v want %v", b.Self, b.Total-cc.Total)
+	}
+	if a.Phase != "backward" {
+		t.Fatalf("phase = %q, want backward", a.Phase)
+	}
+}
+
+func TestUnbalancedSpansAreIgnored(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	c.EndSpan(PhaseForward, "never-opened") // must not panic
+	c.BeginSpan(PhaseForward, "x")
+	c.EndSpan(PhaseForward, "y") // mismatched name: ignored, x stays open
+	c.EndSpan(PhaseForward, "x")
+	stats := c.LayerStats()
+	if len(stats) != 1 || stats[0].Layer != "x" {
+		t.Fatalf("stats = %+v, want exactly one x span", stats)
+	}
+}
+
+func TestStepAggregation(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	for i := 1; i <= 4; i++ {
+		c.StepDone(StepSample{Epoch: 1, Step: i, Loss: 0.5, Examples: 32,
+			Latency: time.Duration(i) * time.Millisecond})
+	}
+	if c.Steps() != 4 {
+		t.Fatalf("steps = %d", c.Steps())
+	}
+	if got := c.StepLatencyQuantile(1); got != 4*time.Millisecond {
+		t.Fatalf("max latency = %v", got)
+	}
+	// 128 examples over 10ms total.
+	if got := c.ExamplesPerSec(); got < 12700 || got > 12900 {
+		t.Fatalf("examples/sec = %v, want ~12800", got)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	c.Counter("dropback/swaps", 3)
+	c.Counter("dropback/swaps", 2)
+	c.Gauge("dropback/tracked_set_size", 1500)
+	c.Gauge("dropback/tracked_set_size", 1400)
+	if got := c.Counters()["dropback/swaps"]; got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+	if got := c.Gauges()["dropback/tracked_set_size"]; got != 1400 {
+		t.Fatalf("gauge = %v, want latest value 1400", got)
+	}
+}
+
+func TestWriteSummaryMentionsLayersAndThroughput(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	c.BeginSpan(PhaseForward, "net/fc1")
+	busyWork()
+	c.EndSpan(PhaseForward, "net/fc1")
+	c.StepDone(StepSample{Epoch: 1, Step: 1, Loss: 1, Examples: 32, Latency: time.Millisecond})
+	var buf bytes.Buffer
+	c.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{"net/fc1", "forward", "examples/sec", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNopRecorderAllocations proves the disabled path allocates nothing —
+// the guarantee that lets instrumentation stay compiled into hot loops.
+func TestNopRecorderAllocations(t *testing.T) {
+	var rec Recorder = Nop{}
+	sample := StepSample{Epoch: 1, Step: 1, Loss: 0.1, Examples: 32, Latency: time.Millisecond}
+	allocs := testing.AllocsPerRun(100, func() {
+		if rec.Enabled() {
+			t.Fatal("nop recorder reports enabled")
+		}
+		rec.BeginSpan(PhaseForward, "layer")
+		rec.EndSpan(PhaseForward, "layer")
+		rec.Counter("c", 1)
+		rec.Gauge("g", 1)
+		rec.StepDone(sample)
+		rec.EpochDone(EpochSample{Epoch: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("nop recorder path allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if _, ok := OrNop(nil).(Nop); !ok {
+		t.Fatal("OrNop(nil) is not Nop")
+	}
+	c := NewCollector(CollectorOptions{})
+	if OrNop(c) != Recorder(c) {
+		t.Fatal("OrNop(collector) did not pass through")
+	}
+}
+
+// busyWork burns a little CPU so spans have non-zero width without relying
+// on timer sleeps.
+func busyWork() {
+	s := 0.0
+	for i := 0; i < 20000; i++ {
+		s += float64(i%7) * 1e-3
+	}
+	if s < 0 {
+		panic("unreachable")
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Histogram collects duration samples and answers quantile queries. Samples
+// are kept exactly (training runs here are at most a few hundred thousand
+// steps); sorting happens lazily on the first quantile query after an
+// insert.
+type Histogram struct {
+	samples []float64 // nanoseconds
+	sorted  bool
+	sum     float64
+	max     float64
+}
+
+// Observe adds one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	v := float64(d)
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the mean sample as a duration (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(len(h.samples)))
+}
+
+// Max returns the largest sample observed (0 when empty).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using nearest-rank on the
+// sorted samples, so Quantile(0.5) of [1,2,3] is exactly 2. Returns 0 when
+// empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return time.Duration(h.samples[0])
+	}
+	if q >= 1 {
+		return time.Duration(h.samples[n-1])
+	}
+	// Nearest-rank: ceil(q*n) converted to a zero-based index.
+	rank := int(q*float64(n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return time.Duration(h.samples[rank])
+}

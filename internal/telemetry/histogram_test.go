@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..100 ms inserted out of order.
+	for i := 100; i >= 1; i-- {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.5, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v", h.Max())
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got, want := h.Mean(), 50500*time.Microsecond; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramInterleavedObserveAndQuery(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	h.Observe(1 * time.Millisecond)
+	if got := h.Quantile(0.5); got != 1*time.Millisecond {
+		t.Fatalf("p50 of {1,3} = %v", got)
+	}
+	// A later insert must invalidate the sorted cache.
+	h.Observe(2 * time.Millisecond)
+	if got := h.Quantile(0.5); got != 2*time.Millisecond {
+		t.Fatalf("p50 of {1,2,3} = %v, want 2ms", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record kinds emitted on the JSONL stream.
+const (
+	KindRun   = "run"   // one per stream: run-level metadata
+	KindStep  = "step"  // one per optimizer step
+	KindEpoch = "epoch" // one per epoch, with memory telemetry
+	KindGauge = "gauge" // latest value of a named gauge
+	KindLayer = "layer" // per-layer span aggregate, written at Flush
+)
+
+// GaugePoint is one gauge observation.
+type GaugePoint struct {
+	Name  string  `json:"name"`
+	Epoch int     `json:"epoch"`
+	Value float64 `json:"value"`
+}
+
+// RunInfo is the stream's run-level metadata record.
+type RunInfo struct {
+	Label    string             `json:"label,omitempty"`
+	Steps    int                `json:"steps"`
+	Examples int64              `json:"examples"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+}
+
+// Record is one line of the JSONL telemetry stream: a kind discriminator
+// plus exactly one populated payload.
+type Record struct {
+	Kind  string      `json:"kind"`
+	Step  *StepSample `json:"step,omitempty"`
+	Epoch *EpochStat  `json:"epoch,omitempty"`
+	Gauge *GaugePoint `json:"gauge,omitempty"`
+	Layer *LayerStat  `json:"layer,omitempty"`
+	Run   *RunInfo    `json:"run,omitempty"`
+}
+
+// JSONLWriter encodes records one per line onto an io.Writer through a
+// buffer; call Flush before reading the destination.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLWriter wraps w in a buffered JSONL encoder.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one record as a JSON line. The first error sticks and makes
+// subsequent writes no-ops; Flush reports it.
+func (w *JSONLWriter) Write(r Record) {
+	if w == nil || w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(r)
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (w *JSONLWriter) Flush() error {
+	if w == nil {
+		return nil
+	}
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// DecodeJSONL parses a JSONL telemetry stream back into records — the
+// inverse of JSONLWriter, used by tests and external tooling.
+func DecodeJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: decoding JSONL record %d: %w", len(out), err)
+		}
+		if rec.Kind == "" {
+			return out, fmt.Errorf("telemetry: JSONL record %d has no kind", len(out))
+		}
+		out = append(out, rec)
+	}
+}

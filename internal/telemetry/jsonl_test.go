@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCollector(CollectorOptions{Sink: &buf, Label: "roundtrip"})
+	c.BeginSpan(PhaseForward, "net/fc1")
+	busyWork()
+	c.EndSpan(PhaseForward, "net/fc1")
+	step := StepSample{Epoch: 1, Step: 1, Loss: 0.25, Examples: 32, Latency: 3 * time.Millisecond}
+	c.StepDone(step)
+	c.Gauge("dropback/tracked_set_size", 1500)
+	c.EpochDone(EpochSample{Epoch: 1, TrainLoss: 0.5, TrainAcc: 0.9, ValLoss: 0.6,
+		ValAcc: 0.85, Examples: 32, Duration: 10 * time.Millisecond})
+	c.Counter("dropback/swaps", 7)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[string][]Record{}
+	for _, r := range recs {
+		byKind[r.Kind] = append(byKind[r.Kind], r)
+	}
+	if len(byKind[KindStep]) != 1 || !reflect.DeepEqual(*byKind[KindStep][0].Step, step) {
+		t.Fatalf("step record did not round-trip: %+v", byKind[KindStep])
+	}
+	ep := byKind[KindEpoch]
+	if len(ep) != 1 || ep[0].Epoch.ValAcc != 0.85 || ep[0].Epoch.ExamplesPerSec != 3200 {
+		t.Fatalf("epoch record wrong: %+v", ep)
+	}
+	g := byKind[KindGauge]
+	if len(g) != 1 || g[0].Gauge.Name != "dropback/tracked_set_size" || g[0].Gauge.Value != 1500 {
+		t.Fatalf("gauge record wrong: %+v", g)
+	}
+	ly := byKind[KindLayer]
+	if len(ly) != 1 || ly[0].Layer.Layer != "net/fc1" || ly[0].Layer.Phase != "forward" || ly[0].Layer.Count != 1 {
+		t.Fatalf("layer record wrong: %+v", ly)
+	}
+	run := byKind[KindRun]
+	if len(run) != 1 || run[0].Run.Label != "roundtrip" || run[0].Run.Steps != 1 ||
+		run[0].Run.Counters["dropback/swaps"] != 7 {
+		t.Fatalf("run record wrong: %+v", run)
+	}
+}
+
+func TestJSONLFlushIsIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCollector(CollectorOptions{Sink: &buf})
+	c.StepDone(StepSample{Epoch: 1, Step: 1, Examples: 8, Latency: time.Millisecond})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(buf.Bytes())
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Bytes()) != n {
+		t.Fatal("second Flush rewrote terminal records")
+	}
+}
+
+func TestJSONLStepThinning(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCollector(CollectorOptions{Sink: &buf, StepEvery: 5})
+	for i := 1; i <= 20; i++ {
+		c.StepDone(StepSample{Epoch: 1, Step: i, Examples: 8, Latency: time.Millisecond})
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for _, r := range recs {
+		if r.Kind == KindStep {
+			steps++
+		}
+	}
+	if steps != 4 {
+		t.Fatalf("thinned stream has %d step records, want 4", steps)
+	}
+	// Aggregates still see every step.
+	if c.Steps() != 20 {
+		t.Fatalf("aggregate steps = %d, want 20", c.Steps())
+	}
+}
+
+func TestDecodeJSONLRejectsKindlessRecords(t *testing.T) {
+	_, err := DecodeJSONL(strings.NewReader("{\"step\":{\"epoch\":1}}\n"))
+	if err == nil {
+		t.Fatal("expected error for record without kind")
+	}
+}
+
+func TestBenchExportRoundTrip(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	c.BeginSpan(PhaseForward, "net/fc1")
+	busyWork()
+	c.EndSpan(PhaseForward, "net/fc1")
+	c.StepDone(StepSample{Epoch: 1, Step: 1, Examples: 32, Latency: 2 * time.Millisecond})
+	c.EpochDone(EpochSample{Epoch: 1, Examples: 32, Duration: 5 * time.Millisecond})
+	entries := c.BenchEntries("mnist100/")
+	path := filepath.Join(t.TempDir(), "BENCH_telemetry.json")
+	if err := WriteBench(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, back) {
+		t.Fatalf("bench entries did not round-trip:\n%+v\n%+v", entries, back)
+	}
+	names := map[string]bool{}
+	for _, e := range back {
+		names[e.Name] = true
+	}
+	for _, want := range []string{
+		"mnist100/step_latency_p50", "mnist100/throughput",
+		"mnist100/layer/net/fc1/forward", "mnist100/heap_alloc",
+	} {
+		if !names[want] {
+			t.Fatalf("bench export missing %q; have %v", want, names)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package dropback
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dropback/internal/telemetry"
+)
+
+// trainOnce runs a fixed small DropBack configuration and returns the final
+// weights, optionally under full telemetry collection.
+func trainOnce(t *testing.T, rec telemetry.Recorder) []float32 {
+	t.Helper()
+	train, val := smallData(400, 11)
+	m := smallMLP(11)
+	res := Train(m, train, val, TrainConfig{
+		Method: MethodDropBack, Budget: 2000, FreezeAfterEpoch: 2,
+		Epochs: 4, BatchSize: 32, Seed: 11, Telemetry: rec,
+	})
+	if res.Diverged {
+		t.Fatal("training diverged")
+	}
+	return m.Set.Snapshot()
+}
+
+// TestTelemetryDoesNotPerturbTraining is the determinism regression gate:
+// the same seed must produce bit-identical final weights whether telemetry
+// is enabled (full collector with JSONL sink) or disabled. Recorders only
+// observe; any drift here means instrumentation leaked into training math.
+func TestTelemetryDoesNotPerturbTraining(t *testing.T) {
+	var sink bytes.Buffer
+	collector := telemetry.NewCollector(telemetry.CollectorOptions{Sink: &sink})
+	instrumented := trainOnce(t, collector)
+	if err := collector.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	plain := trainOnce(t, nil)
+
+	if len(instrumented) != len(plain) {
+		t.Fatalf("weight counts differ: %d vs %d", len(instrumented), len(plain))
+	}
+	for i := range plain {
+		if math.Float32bits(plain[i]) != math.Float32bits(instrumented[i]) {
+			t.Fatalf("weight %d differs: %x vs %x — telemetry perturbed training",
+				i, math.Float32bits(plain[i]), math.Float32bits(instrumented[i]))
+		}
+	}
+	if collector.Steps() == 0 {
+		t.Fatal("collector saw no steps; instrumentation was not wired")
+	}
+}
+
+// TestTrainEmitsTelemetryStream drives an MNIST-scale run and checks the
+// JSONL stream carries everything the acceptance criteria name: per-layer
+// forward/backward timings, examples/sec throughput, and tracked-set-size
+// gauges.
+func TestTrainEmitsTelemetryStream(t *testing.T) {
+	ds := MNISTLike(400, 5).Flatten()
+	train, val := ds.Split(320)
+	m := MNIST100100(5)
+	var sink bytes.Buffer
+	collector := telemetry.NewCollector(telemetry.CollectorOptions{Sink: &sink, Label: "mnist-scale"})
+	res := Train(m, train, val, TrainConfig{
+		Method: MethodDropBack, Budget: 10000, FreezeAfterEpoch: -1,
+		Epochs: 2, BatchSize: 32, Seed: 5, Telemetry: collector,
+	})
+	if res.Diverged {
+		t.Fatal("training diverged")
+	}
+	if err := collector.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := telemetry.DecodeJSONL(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layerPhases := map[string]map[string]bool{}
+	steps, epochs := 0, 0
+	gauges := map[string]float64{}
+	for _, r := range recs {
+		switch r.Kind {
+		case telemetry.KindLayer:
+			if r.Layer.Total <= 0 || r.Layer.Count <= 0 {
+				t.Fatalf("layer record without timing: %+v", r.Layer)
+			}
+			if layerPhases[r.Layer.Layer] == nil {
+				layerPhases[r.Layer.Layer] = map[string]bool{}
+			}
+			layerPhases[r.Layer.Layer][r.Layer.Phase] = true
+		case telemetry.KindStep:
+			steps++
+			if r.Step.Examples <= 0 || r.Step.Latency <= 0 {
+				t.Fatalf("step record without examples/latency: %+v", r.Step)
+			}
+			if r.Step.ExamplesPerSec() <= 0 {
+				t.Fatalf("step without throughput: %+v", r.Step)
+			}
+		case telemetry.KindEpoch:
+			epochs++
+			if r.Epoch.ExamplesPerSec <= 0 {
+				t.Fatalf("epoch record without examples/sec: %+v", r.Epoch)
+			}
+		case telemetry.KindGauge:
+			gauges[r.Gauge.Name] = r.Gauge.Value
+		}
+	}
+	for _, layer := range []string{"mnist100/fc1", "mnist100/fc2", "mnist100/fc3"} {
+		if !layerPhases[layer]["forward"] || !layerPhases[layer]["backward"] {
+			t.Fatalf("layer %s missing forward/backward timings; have %v", layer, layerPhases)
+		}
+	}
+	if steps != 20 { // 320 samples / 32 per batch × 2 epochs
+		t.Fatalf("stream has %d step records, want 20", steps)
+	}
+	if epochs != 2 {
+		t.Fatalf("stream has %d epoch records, want 2", epochs)
+	}
+	if got := gauges["dropback/tracked_set_size"]; got != 10000 {
+		t.Fatalf("tracked-set-size gauge = %v, want 10000", got)
+	}
+	if gauges["dropback/regenerations"] <= 0 {
+		t.Fatal("regenerations gauge missing from stream")
+	}
+}
+
+// TestEvaluateWithInstrumentedModel ensures instrumentation installed for
+// inference-only flows (cmd/dropback-infer) records forward spans and that
+// stripping it restores the uninstrumented path.
+func TestEvaluateWithInstrumentedModel(t *testing.T) {
+	ds := MNISTLike(64, 3).Flatten()
+	m := MNIST100100(3)
+	collector := telemetry.NewCollector(telemetry.CollectorOptions{})
+	InstrumentModel(m, collector)
+	Evaluate(m, ds, 32)
+	InstrumentModel(m, nil)
+	stats := collector.LayerStats()
+	if len(stats) == 0 {
+		t.Fatal("no layer spans from instrumented evaluation")
+	}
+	for _, st := range stats {
+		if st.Phase != "forward" {
+			t.Fatalf("inference produced a %s span: %+v", st.Phase, st)
+		}
+	}
+	before := len(stats)
+	Evaluate(m, ds, 32)
+	if got := len(collector.LayerStats()); got != before {
+		t.Fatal("recorder still installed after InstrumentModel(m, nil)")
+	}
+}

@@ -3,6 +3,7 @@ package dropback
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"dropback/internal/core"
 	"dropback/internal/data"
@@ -11,6 +12,7 @@ import (
 	"dropback/internal/optim"
 	"dropback/internal/prune"
 	"dropback/internal/stats"
+	"dropback/internal/telemetry"
 )
 
 // Method selects the training regime.
@@ -116,6 +118,13 @@ type TrainConfig struct {
 	Quiet bool
 	// Progress, if non-nil, receives per-epoch progress lines.
 	Progress func(string)
+
+	// Telemetry, if non-nil and enabled, receives per-layer span timings,
+	// per-step loss/latency samples, per-epoch summaries, and (for
+	// DropBack) tracked-set gauges. Recorders only observe — a run with
+	// telemetry enabled is bit-identical to the same run without it. Nil
+	// means disabled.
+	Telemetry telemetry.Recorder
 }
 
 // EpochStats records one epoch of training.
@@ -209,6 +218,13 @@ func Train(m *Model, train, val *Dataset, cfg TrainConfig) *Result {
 		dsd = prune.NewDSD(m.Set, cfg.DSDSparseFraction)
 	}
 
+	rec := telemetry.OrNop(cfg.Telemetry)
+	telemetryOn := rec.Enabled()
+	if telemetryOn {
+		nn.Instrument(m.Net, rec)
+		defer nn.Instrument(m.Net, nil)
+	}
+
 	batcher := data.NewBatcher(train, cfg.BatchSize, cfg.Seed^0xBA7C4)
 	sgd := optim.NewSGD(0)
 	diff := stats.NewDiffusion(filteredSnapshot(m.Set, cfg.SnapshotParams))
@@ -232,8 +248,17 @@ epochs:
 			}
 		}
 		var lossSum, accSum float64
+		var epochStart time.Time
+		epochExamples := 0
+		if telemetryOn {
+			epochStart = time.Now()
+		}
 		nb := batcher.BatchesPerEpoch()
 		for b := 0; b < nb; b++ {
+			var stepStart time.Time
+			if telemetryOn {
+				stepStart = time.Now()
+			}
 			x, y := batcher.Next()
 			loss, acc := m.Step(x, y)
 			if math.IsNaN(loss) || math.IsInf(loss, 0) {
@@ -251,7 +276,10 @@ epochs:
 			sgd.Step(m.Set)
 			switch {
 			case db != nil:
-				db.Apply()
+				swaps := db.Apply()
+				if telemetryOn {
+					rec.Counter("dropback/swaps", float64(swaps))
+				}
 			case mag != nil:
 				mag.Apply()
 			case vd != nil:
@@ -266,6 +294,17 @@ epochs:
 				diff.Record(step, filteredSnapshot(m.Set, cfg.SnapshotParams))
 				maybeSnapshot(res, cfg, step, m.Set)
 			}
+			if telemetryOn {
+				epochExamples += x.Shape[0]
+				rec.StepDone(telemetry.StepSample{
+					Epoch: epoch + 1, Step: step, Loss: loss,
+					Examples: x.Shape[0], Latency: time.Since(stepStart),
+				})
+			}
+		}
+		var epochTrainDur time.Duration
+		if telemetryOn {
+			epochTrainDur = time.Since(epochStart)
 		}
 		if db != nil {
 			db.MaybeFreezeAtEpochEnd(epoch)
@@ -284,6 +323,18 @@ epochs:
 			ValLoss: valLoss, ValAcc: valAcc,
 		}
 		res.History = append(res.History, es)
+		if telemetryOn {
+			if db != nil {
+				rec.Gauge("dropback/tracked_set_size", float64(db.TrackedCount()))
+				rec.Gauge("dropback/regenerations", float64(db.Regenerations()))
+				rec.Gauge("dropback/tracked_writes", float64(db.TrackedWrites()))
+			}
+			rec.EpochDone(telemetry.EpochSample{
+				Epoch: epoch + 1, TrainLoss: es.TrainLoss, TrainAcc: es.TrainAcc,
+				ValLoss: es.ValLoss, ValAcc: es.ValAcc,
+				Examples: epochExamples, Duration: epochTrainDur,
+			})
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(fmt.Sprintf("epoch %3d lr %.4f train loss %.4f acc %.4f | val loss %.4f acc %.4f",
 				es.Epoch, es.LR, es.TrainLoss, es.TrainAcc, es.ValLoss, es.ValAcc))
