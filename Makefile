@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test race bench bench-telemetry clean
+.PHONY: check build fmt-check fmt vet test race bench bench-guard bench-telemetry clean
 
-check: build fmt-check vet test race bench
+check: build fmt-check vet test race bench bench-guard
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tensor ./internal/core .
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/core .
 
 # One iteration per benchmark: a smoke test that every benchmark still runs.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Allocation regression gate: the kernel benchmarks must stay under the
+# allocs/op ceilings committed in BENCH_kernels.json.
+bench-guard:
+	$(GO) test -bench 'BenchmarkConvTrainStep|BenchmarkMatMul$$|BenchmarkIm2Col' \
+		-benchmem -benchtime 10x -run '^$$' . > bench_guard.out
+	$(GO) run ./cmd/benchguard -baseline BENCH_kernels.json -input bench_guard.out
 
 # The CI telemetry export: a short DropBack run that emits the JSONL stream
 # and the BENCH_telemetry.json benchmark-trajectory artifact.
@@ -41,4 +48,4 @@ bench-telemetry:
 		-bench-out BENCH_telemetry.json
 
 clean:
-	rm -f telemetry.jsonl BENCH_telemetry.json cpu.pprof heap.pprof
+	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out cpu.pprof heap.pprof

@@ -7,6 +7,7 @@
 package dropback_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -230,6 +231,35 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulSizes sweeps the blocked kernel across shapes on both sides
+// of the parallel threshold, in the allocating and workspace (Into) forms.
+func BenchmarkMatMulSizes(b *testing.B) {
+	for _, dims := range [][3]int{{32, 128, 64}, {64, 256, 128}, {128, 512, 256}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		x := tensor.New(m, k)
+		w := tensor.New(k, n)
+		for i := range x.Data {
+			x.Data[i] = xorshift.IndexedNormal(1, uint64(i))
+		}
+		for i := range w.Data {
+			w.Data[i] = xorshift.IndexedNormal(2, uint64(i))
+		}
+		b.Run(fmt.Sprintf("alloc/%dx%dx%d", m, k, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(x, w)
+			}
+		})
+		dst := tensor.New(m, n)
+		b.Run(fmt.Sprintf("into/%dx%dx%d", m, k, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(dst, x, w)
+			}
+		})
+	}
+}
+
 func BenchmarkMLPTrainStep(b *testing.B) {
 	m := dropback.MNIST100100(1)
 	x := tensor.New(32, 784)
@@ -256,6 +286,21 @@ func BenchmarkIm2Col(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tensor.Im2Col(x, 3, 3, 1, 1)
+	}
+}
+
+// BenchmarkIm2ColInto measures the workspace form: lowering into a reused
+// buffer, the exact call the batch-parallel convolution makes per sample.
+func BenchmarkIm2ColInto(b *testing.B) {
+	x := tensor.New(3, 32, 32)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(5, uint64(i))
+	}
+	dst := make([]float32, 3*3*3*32*32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Im2ColSlice(dst, x.Data, 3, 32, 32, 3, 3, 1, 1)
 	}
 }
 
@@ -288,16 +333,25 @@ func BenchmarkSparseCompressApply(b *testing.B) {
 }
 
 func BenchmarkConvTrainStep(b *testing.B) {
-	m := dropback.VGGSReduced(12, 8, 1, false)
-	x := tensor.New(8, 3, 12, 12)
-	for i := range x.Data {
-		x.Data[i] = xorshift.IndexedUniform(4, uint64(i))
-	}
-	labels := []int{0, 1, 2, 3, 4, 5, 6, 7}
-	sgd := optim.NewSGD(0.1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		m.Step(x, labels)
-		sgd.Step(m.Set)
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			m := dropback.VGGSReduced(12, 8, 1, false)
+			x := tensor.New(batch, 3, 12, 12)
+			for i := range x.Data {
+				x.Data[i] = xorshift.IndexedUniform(4, uint64(i))
+			}
+			labels := make([]int, batch)
+			for i := range labels {
+				labels[i] = i % 8
+			}
+			sgd := optim.NewSGD(0.1)
+			m.Step(x, labels) // warm the workspaces before measuring
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Step(x, labels)
+				sgd.Step(m.Set)
+			}
+		})
 	}
 }

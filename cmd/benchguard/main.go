@@ -1,0 +1,182 @@
+// Command benchguard gates CI on allocation regressions in the kernel
+// benchmarks. It parses `go test -bench -benchmem` output, strips the
+// -GOMAXPROCS suffix from benchmark names, and compares each benchmark's
+// allocs/op against the ceilings committed in a baseline JSON file
+// (BENCH_kernels.json). Any benchmark above its ceiling — or any guarded
+// benchmark missing from the input — fails the run.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkConvTrainStep|BenchmarkMatMul$|BenchmarkIm2Col' \
+//	    -benchmem -benchtime 10x -run '^$' . > bench_guard.out
+//	go run ./cmd/benchguard -baseline BENCH_kernels.json -input bench_guard.out
+//
+// Pass -update to rewrite the baseline ceilings from the observed values
+// (observed × 2 + 16, leaving headroom for multi-core goroutine-spawn
+// allocations) instead of checking.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors BENCH_kernels.json. History is opaque to the guard — it
+// records before/after measurements for humans and is preserved on -update.
+type baseline struct {
+	Description string          `json:"description"`
+	History     json.RawMessage `json:"history,omitempty"`
+	MaxAllocs   map[string]int  `json:"max_allocs_per_op"`
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	NsPerOp     float64
+	AllocsPerOp int
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_kernels.json", "baseline JSON with max_allocs_per_op ceilings")
+	inputPath := flag.String("input", "-", "benchmark output to check ('-' for stdin)")
+	update := flag.Bool("update", false, "rewrite baseline ceilings from observed values instead of checking")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatalf("read baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("parse baseline %s: %v", *baselinePath, err)
+	}
+
+	var in io.Reader = os.Stdin
+	if *inputPath != "-" {
+		f, err := os.Open(*inputPath)
+		if err != nil {
+			fatalf("open input: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fatalf("parse benchmark output: %v", err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmark lines found in input")
+	}
+
+	if *update {
+		for name, r := range results {
+			if _, guarded := base.MaxAllocs[name]; guarded {
+				base.MaxAllocs[name] = r.AllocsPerOp*2 + 16
+			}
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fatalf("encode baseline: %v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatalf("write baseline: %v", err)
+		}
+		fmt.Printf("benchguard: updated %d ceilings in %s\n", len(results), *baselinePath)
+		return
+	}
+
+	names := make([]string, 0, len(base.MaxAllocs))
+	for name := range base.MaxAllocs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		ceiling := base.MaxAllocs[name]
+		r, ok := results[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: guarded benchmark missing from input", name))
+			continue
+		}
+		status := "ok"
+		if r.AllocsPerOp > ceiling {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds ceiling %d", name, r.AllocsPerOp, ceiling))
+		}
+		fmt.Printf("benchguard: %-40s %8d allocs/op (ceiling %d) %10.0f ns/op  %s\n",
+			name, r.AllocsPerOp, ceiling, r.NsPerOp, status)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchguard: %s\n", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts (name → result) from go test -bench -benchmem output.
+// Benchmark names have their trailing -GOMAXPROCS suffix removed so baselines
+// are portable across machines.
+func parseBench(r io.Reader) (map[string]result, error) {
+	results := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := result{AllocsPerOp: -1}
+		for i := 2; i < len(fields)-1; i++ {
+			switch fields[i+1] {
+			case "ns/op":
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op %q: %v", fields[i], err)
+				}
+				res.NsPerOp = v
+			case "allocs/op":
+				v, err := strconv.Atoi(fields[i])
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op %q: %v", fields[i], err)
+				}
+				res.AllocsPerOp = v
+			}
+		}
+		if res.AllocsPerOp < 0 {
+			continue // no -benchmem columns on this line
+		}
+		results[stripProcsSuffix(fields[0])] = res
+	}
+	return results, sc.Err()
+}
+
+// stripProcsSuffix removes the trailing "-N" GOMAXPROCS marker go test
+// appends to benchmark names when N > 1.
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

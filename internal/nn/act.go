@@ -5,14 +5,18 @@ import (
 	"dropback/internal/xorshift"
 )
 
-// ReLU is the rectified linear activation max(0, x).
+// ReLU is the rectified linear activation max(0, x). Its output and input
+// gradient live in reusable workspace buffers: they are valid until the
+// layer's next Forward/Backward call, which is exactly the single-use-per-
+// step lifecycle the Layer contract already imposes.
 type ReLU struct {
 	name string
 	mask []bool
+	ws   *tensor.Workspace
 }
 
 // NewReLU returns a ReLU activation layer.
-func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+func NewReLU(name string) *ReLU { return &ReLU{name: name, ws: tensor.NewWorkspace()} }
 
 // Name implements Layer.
 func (l *ReLU) Name() string { return l.name }
@@ -23,12 +27,13 @@ func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.mask = make([]bool, x.Len())
 	}
 	l.mask = l.mask[:x.Len()]
-	y := tensor.New(x.Shape...)
+	y := l.ws.GetRaw("y", x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
 			l.mask[i] = true
 		} else {
+			y.Data[i] = 0
 			l.mask[i] = false
 		}
 	}
@@ -37,10 +42,12 @@ func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dy.Shape...)
+	dx := l.ws.GetRaw("dx", dy.Shape...)
 	for i, v := range dy.Data {
 		if l.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -114,6 +121,7 @@ type Dropout struct {
 	P    float32
 	rng  *xorshift.State64
 	mask []float32
+	ws   *tensor.Workspace
 }
 
 // NewDropout returns a dropout layer with drop probability p in [0, 1).
@@ -121,7 +129,7 @@ func NewDropout(name string, seed uint64, p float32) *Dropout {
 	if p < 0 || p >= 1 {
 		panic("nn: dropout probability must be in [0,1)")
 	}
-	return &Dropout{name: name, P: p, rng: xorshift.NewState64(seed)}
+	return &Dropout{name: name, P: p, rng: xorshift.NewState64(seed), ws: tensor.NewWorkspace()}
 }
 
 // Name implements Layer.
@@ -138,10 +146,11 @@ func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	l.mask = l.mask[:x.Len()]
 	scale := 1 / (1 - l.P)
-	y := tensor.New(x.Shape...)
+	y := l.ws.GetRaw("y", x.Shape...)
 	for i, v := range x.Data {
 		if l.rng.Float32() < l.P {
 			l.mask[i] = 0
+			y.Data[i] = 0
 		} else {
 			l.mask[i] = scale
 			y.Data[i] = v * scale
@@ -155,7 +164,7 @@ func (l *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if l.mask == nil {
 		return dy
 	}
-	dx := tensor.New(dy.Shape...)
+	dx := l.ws.GetRaw("dx", dy.Shape...)
 	for i, g := range dy.Data {
 		dx.Data[i] = g * l.mask[i]
 	}

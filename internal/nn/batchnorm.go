@@ -28,10 +28,12 @@ type BatchNorm struct {
 	RunningMean []float32
 	RunningVar  []float32
 
-	// cached forward state
+	// cached forward state; xhat lives in the workspace and is rebuilt by
+	// every training Forward, so steady-state steps allocate nothing.
 	xhat   *tensor.Tensor
 	invStd []float32
 	shape  []int
+	ws     *tensor.Workspace
 }
 
 // NewBatchNorm builds a batch-normalization layer over c channels.
@@ -42,6 +44,7 @@ func NewBatchNorm(name string, modelSeed uint64, c int) *BatchNorm {
 		Beta:        NewParam(name+"/beta", modelSeed, xorshift.InitZero, 0, c),
 		RunningMean: make([]float32, c),
 		RunningVar:  make([]float32, c),
+		ws:          tensor.NewWorkspace(),
 	}
 	for i := range bn.RunningVar {
 		bn.RunningVar[i] = 1
@@ -75,14 +78,14 @@ func (l *BatchNorm) channelGeometry(shape []int) (groups, spatial int) {
 func (l *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	groups, spatial := l.channelGeometry(x.Shape)
 	m := groups * spatial // elements per channel
-	y := tensor.New(x.Shape...)
+	y := l.ws.GetRaw("y", x.Shape...)
 	l.shape = append(l.shape[:0], x.Shape...)
 	if train {
 		if cap(l.invStd) < l.C {
 			l.invStd = make([]float32, l.C)
 		}
 		l.invStd = l.invStd[:l.C]
-		l.xhat = tensor.New(x.Shape...)
+		l.xhat = l.ws.GetRaw("xhat", x.Shape...)
 		for c := 0; c < l.C; c++ {
 			var sum, sumSq float64
 			for g := 0; g < groups; g++ {
@@ -136,7 +139,7 @@ func (l *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	groups, spatial := l.channelGeometry(l.shape)
 	m := float64(groups * spatial)
-	dx := tensor.New(l.shape...)
+	dx := l.ws.GetRaw("dx", l.shape...)
 	for c := 0; c < l.C; c++ {
 		gamma := l.Gamma.Value.Data[c]
 		inv := l.invStd[c]

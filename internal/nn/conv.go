@@ -9,8 +9,15 @@ import (
 
 // Conv2D is a 2-D convolution over (N, C, H, W) activations with weight
 // (F, C, KH, KW) and optional bias (F), implemented by im2col lowering so
-// the inner kernel is the parallel matmul. Weights use He-scaled normal
+// the inner kernel is the blocked matmul. Weights use He-scaled normal
 // initialization (ReLU networks); biases start at zero.
+//
+// The layer runs as a batch-parallel, allocation-free pipeline: the batch is
+// partitioned across GOMAXPROCS workers, each sample's im2col lowering,
+// matmul, and gradient work writes only sample-disjoint regions of reusable
+// workspace slabs, and the cross-sample dW/dB reduction happens sequentially
+// in ascending sample order at the end of Backward — so results are
+// bit-identical to a per-sample sequential implementation at any GOMAXPROCS.
 type Conv2D struct {
 	name        string
 	InC, OutC   int
@@ -19,7 +26,9 @@ type Conv2D struct {
 	W           *Param
 	B           *Param
 	useBias     bool
-	cols        []*tensor.Tensor // cached per-sample im2col matrices
+	ws          *tensor.Workspace
+	cols        *tensor.Tensor // (N, C*KH*KW, OH*OW) im2col slab, reused across steps
+	batch       int
 	inShape     []int
 	outH, outW  int
 }
@@ -32,6 +41,7 @@ func NewConv2D(name string, modelSeed uint64, inC, outC, k, stride, pad int) *Co
 		W:       NewParam(name+"/W", modelSeed, xorshift.InitScaledNormal, xorshift.HeScale(fanIn), outC, inC, k, k),
 		B:       NewParam(name+"/b", modelSeed, xorshift.InitZero, 0, outC),
 		useBias: true,
+		ws:      tensor.NewWorkspace(),
 	}
 }
 
@@ -56,61 +66,109 @@ func (l *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.inShape = append(l.inShape[:0], x.Shape...)
 	l.outH = tensor.ConvOutSize(h, l.KH, l.Stride, l.Pad)
 	l.outW = tensor.ConvOutSize(w, l.KW, l.Stride, l.Pad)
-	wm := l.W.Value.Reshape(l.OutC, l.InC*l.KH*l.KW)
-	y := tensor.New(n, l.OutC, l.outH, l.outW)
-	l.cols = l.cols[:0]
-	perSample := l.OutC * l.outH * l.outW
-	for i := 0; i < n; i++ {
-		img := tensor.FromSlice(x.Data[i*l.InC*h*w:(i+1)*l.InC*h*w], l.InC, h, w)
-		cols := tensor.Im2Col(img, l.KH, l.KW, l.Stride, l.Pad)
-		l.cols = append(l.cols, cols)
-		ym := tensor.MatMul(wm, cols) // (OutC, OH*OW)
-		copy(y.Data[i*perSample:(i+1)*perSample], ym.Data)
-	}
+	l.batch = n
+	colRows := l.InC * l.KH * l.KW
+	spatial := l.outH * l.outW
+	imgSize := l.InC * h * w
+	perSample := l.OutC * spatial
+	colSize := colRows * spatial
+
+	// The im2col slab and the output are fully overwritten per sample
+	// (padding written as explicit zeros, matmul tiles cleared before
+	// accumulation), so stale contents from the previous step are fine.
+	l.cols = l.ws.GetRaw("cols", n, colRows, spatial)
+	y := l.ws.GetRaw("y", n, l.OutC, l.outH, l.outW)
+	wm := l.W.Value.Data
+	var bias []float32
 	if l.useBias {
-		for i := 0; i < n; i++ {
-			for f := 0; f < l.OutC; f++ {
-				b := l.B.Value.Data[f]
-				base := (i*l.OutC + f) * l.outH * l.outW
-				plane := y.Data[base : base+l.outH*l.outW]
+		bias = l.B.Value.Data
+	}
+	tensor.ParallelChunks(n, n*perSample*colRows, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			colsI := l.cols.Data[i*colSize : (i+1)*colSize]
+			tensor.Im2ColSlice(colsI, x.Data[i*imgSize:(i+1)*imgSize],
+				l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad)
+			tensor.MatMulSlice(y.Data[i*perSample:(i+1)*perSample], wm, colsI,
+				l.OutC, colRows, spatial)
+			for f := 0; f < len(bias); f++ {
+				b := bias[f]
+				plane := y.Data[i*perSample+f*spatial : i*perSample+(f+1)*spatial]
 				for j := range plane {
 					plane[j] += b
 				}
 			}
 		}
-	}
+	})
 	return y
 }
 
 // Backward implements Layer.
 func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if len(l.cols) == 0 {
+	if l.cols == nil || l.batch == 0 {
 		panic(fmt.Sprintf("nn: conv %q Backward before Forward", l.name))
 	}
-	n := l.inShape[0]
+	n := l.batch
 	h, w := l.inShape[2], l.inShape[3]
-	wm := l.W.Value.Reshape(l.OutC, l.InC*l.KH*l.KW)
-	dWm := l.W.Grad.Reshape(l.OutC, l.InC*l.KH*l.KW)
-	dx := tensor.New(l.inShape...)
+	colRows := l.InC * l.KH * l.KW
 	spatial := l.outH * l.outW
-	for i := 0; i < n; i++ {
-		dyM := tensor.FromSlice(dy.Data[i*l.OutC*spatial:(i+1)*l.OutC*spatial], l.OutC, spatial)
-		// dW += dy @ colsᵀ.
-		tensor.AddInPlace(dWm, tensor.MatMulTransB(dyM, l.cols[i]))
-		if l.useBias {
-			for f := 0; f < l.OutC; f++ {
-				var s float64
-				row := dyM.Data[f*spatial : (f+1)*spatial]
-				for _, v := range row {
-					s += float64(v)
+	imgSize := l.InC * h * w
+	perSample := l.OutC * spatial
+	colSize := colRows * spatial
+	wSize := l.OutC * colRows
+	work := 2 * n * perSample * colRows
+
+	wm := l.W.Value.Data
+	// Per-sample dW/dB partials and the input-gradient slab are fully
+	// overwritten (Col2ImSlice zeroes its region), so raw reuse is safe.
+	dx := l.ws.GetRaw("dx", l.inShape...)
+	dwPart := l.ws.GetRaw("dwpart", n, wSize)
+	var dbPart *tensor.Tensor
+	if l.useBias {
+		dbPart = l.ws.GetRaw("dbpart", n, l.OutC)
+	}
+	// Each worker chunk owns one dcols scratch; chunk count varies with
+	// GOMAXPROCS but chunk-local scratch never influences the reduction
+	// order, so results stay bit-identical.
+	chunks := tensor.ParallelChunkCount(n, work)
+	dcols := l.ws.GetRaw("dcols", chunks, colSize)
+	tensor.ParallelChunks(n, work, func(c, lo, hi int) {
+		dc := dcols.Data[c*colSize : (c+1)*colSize]
+		for i := lo; i < hi; i++ {
+			dyI := dy.Data[i*perSample : (i+1)*perSample]
+			colsI := l.cols.Data[i*colSize : (i+1)*colSize]
+			// dW_i = dy_i @ cols_iᵀ, into this sample's private partial.
+			tensor.MatMulTransBSlice(dwPart.Data[i*wSize:(i+1)*wSize], dyI, colsI,
+				l.OutC, spatial, colRows)
+			if dbPart != nil {
+				for f := 0; f < l.OutC; f++ {
+					var s float64
+					row := dyI[f*spatial : (f+1)*spatial]
+					for _, v := range row {
+						s += float64(v)
+					}
+					dbPart.Data[i*l.OutC+f] = float32(s)
 				}
-				l.B.Grad.Data[f] += float32(s)
+			}
+			// dcols = Wᵀ @ dy_i, then scatter back to this sample's image.
+			tensor.MatMulTransASlice(dc, wm, dyI, l.OutC, colRows, spatial)
+			tensor.Col2ImSlice(dx.Data[i*imgSize:(i+1)*imgSize], dc,
+				l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad)
+		}
+	})
+	// Deterministic reduction: accumulate the per-sample partials into the
+	// shared gradients in ascending sample order, exactly as the sequential
+	// reference does.
+	dW := l.W.Grad.Data
+	for i := 0; i < n; i++ {
+		part := dwPart.Data[i*wSize : (i+1)*wSize]
+		for j := range part {
+			dW[j] += part[j]
+		}
+		if dbPart != nil {
+			for f := 0; f < l.OutC; f++ {
+				l.B.Grad.Data[f] += dbPart.Data[i*l.OutC+f]
 			}
 		}
-		// dcols = Wᵀ @ dy, then scatter back to the image.
-		dcols := tensor.MatMulTransA(wm, dyM) // (C*KH*KW, spatial)
-		dimg := tensor.Col2Im(dcols, l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad)
-		copy(dx.Data[i*l.InC*h*w:(i+1)*l.InC*h*w], dimg.Data)
 	}
 	return dx
 }

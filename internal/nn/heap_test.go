@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"runtime"
+	"testing"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// smallConvModel builds a compact conv net exercising every workspace-backed
+// layer: conv, batchnorm, relu, maxpool, dropout, flatten, linear.
+func smallConvModel() *Model {
+	const seed = uint64(5)
+	net := NewSequential("net",
+		NewConv2DNoBias("c1", seed, 1, 4, 3, 1, 1),
+		NewBatchNorm("bn1", seed, 4),
+		NewReLU("r1"),
+		NewMaxPool2D("p1", 2, 2),
+		NewConv2D("c2", seed, 4, 6, 3, 1, 1),
+		NewReLU("r2"),
+		NewDropout("do", seed, 0.25),
+		NewFlatten("fl"),
+		NewLinear("fc", seed, 6*4*4, 4),
+	)
+	return NewModel(net, seed)
+}
+
+// TestTrainStepSteadyStateHeapStable asserts that once the workspaces are
+// warm, repeated training steps do not grow the heap: the im2col slab, layer
+// outputs, gradients, and matmul scratch are all reused rather than
+// re-allocated. This is the regression test for the former behavior where
+// Conv2D rebuilt its cols tensor (and every layer its outputs) each step.
+func TestTrainStepSteadyStateHeapStable(t *testing.T) {
+	m := smallConvModel()
+	rng := xorshift.NewState64(99)
+	x := tensor.New(8, 1, 8, 8)
+	fillUniform(rng, x.Data)
+	labels := make([]int, 8)
+	for i := range labels {
+		labels[i] = i % 4
+	}
+
+	for i := 0; i < 5; i++ { // warm the workspaces
+		m.Step(x, labels)
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	for i := 0; i < 20; i++ {
+		m.Step(x, labels)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	// Live heap must not grow with step count. Allow slack for runtime noise —
+	// well below one step's worth of the old per-step garbage.
+	const slack = 256 << 10
+	if after.HeapAlloc > before.HeapAlloc+slack {
+		t.Fatalf("steady-state heap grew %d bytes over 20 steps (before=%d after=%d)",
+			after.HeapAlloc-before.HeapAlloc, before.HeapAlloc, after.HeapAlloc)
+	}
+}
+
+// TestTrainStepSteadyStateAllocs bounds per-step allocations at steady state.
+// Run single-threaded so goroutine spawns don't count; the remaining
+// allocations are the loss head's softmax/gradient tensors and the final
+// linear output, which intentionally escape to callers.
+func TestTrainStepSteadyStateAllocs(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	m := smallConvModel()
+	rng := xorshift.NewState64(123)
+	x := tensor.New(4, 1, 8, 8)
+	fillUniform(rng, x.Data)
+	labels := []int{0, 1, 2, 3}
+	m.Step(x, labels) // warm up
+
+	allocs := testing.AllocsPerRun(10, func() {
+		m.Step(x, labels)
+	})
+	// The seed implementation allocated thousands of objects per step; the
+	// workspace pipeline needs only the handful that escape the step.
+	if allocs > 48 {
+		t.Fatalf("steady-state step allocates %.0f objects, want <= 48", allocs)
+	}
+}

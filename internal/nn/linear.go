@@ -19,6 +19,7 @@ type Linear struct {
 	B      *Param
 	x      *tensor.Tensor // cached forward input
 	useBia bool
+	ws     *tensor.Workspace
 }
 
 // NewLinear builds a fully connected layer named name with the given fan-in
@@ -31,6 +32,7 @@ func NewLinear(name string, modelSeed uint64, in, out int) *Linear {
 		W:      NewParam(name+"/W", modelSeed, xorshift.InitScaledNormal, xorshift.LeCunScale(in), out, in),
 		B:      NewParam(name+"/b", modelSeed, xorshift.InitZero, 0, out),
 		useBia: true,
+		ws:     tensor.NewWorkspace(),
 	}
 }
 
@@ -63,15 +65,22 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if l.x == nil {
 		panic(fmt.Sprintf("nn: linear %q Backward before Forward", l.name))
 	}
-	// dW = dyᵀ @ x  — shapes (Out,N)ᵀ-free via MatMulTransA(dy, x).
-	dW := tensor.MatMulTransA(dy, l.x) // (Out, In)
+	n := dy.Shape[0]
+	// dW = dyᵀ @ x into a reusable scratch, then accumulate — no fresh
+	// gradient tensor per step.
+	dW := l.ws.GetRaw("dw", l.Out, l.In)
+	tensor.MatMulTransAInto(dW, dy, l.x)
 	tensor.AddInPlace(l.W.Grad, dW)
 	if l.useBia {
-		db := tensor.ColSums(dy)
-		tensor.AddInPlace(l.B.Grad, db)
+		for i := 0; i < n; i++ {
+			row := dy.Data[i*l.Out : (i+1)*l.Out]
+			for j, v := range row {
+				l.B.Grad.Data[j] += v
+			}
+		}
 	}
 	// dx = dy @ W — (N, Out) @ (Out, In).
-	return tensor.MatMul(dy, l.W.Value)
+	return tensor.MatMulInto(l.ws.GetRaw("dx", n, l.In), dy, l.W.Value)
 }
 
 // Params implements Layer.

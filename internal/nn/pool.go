@@ -9,11 +9,17 @@ import (
 // MaxPool2D applies k×k max pooling with the given stride over (N, C, H, W)
 // activations. Backward routes each output gradient to the argmax input
 // position recorded during Forward.
+//
+// Both passes are batch-parallel: (n, c) planes are partitioned across
+// workers and each plane touches only its own slice of the output, argmax
+// record, and input gradient, so results are bit-identical at any
+// GOMAXPROCS. The input-gradient buffer comes from a reusable workspace.
 type MaxPool2D struct {
 	name    string
 	K       int
 	Stride  int
 	argmax  []int
+	ws      *tensor.Workspace
 	inShape []int
 }
 
@@ -22,7 +28,7 @@ func NewMaxPool2D(name string, k, stride int) *MaxPool2D {
 	if k <= 0 || stride <= 0 {
 		panic("nn: pooling kernel and stride must be positive")
 	}
-	return &MaxPool2D{name: name, K: k, Stride: stride}
+	return &MaxPool2D{name: name, K: k, Stride: stride, ws: tensor.NewWorkspace()}
 }
 
 // Name implements Layer.
@@ -37,61 +43,77 @@ func (l *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := tensor.ConvOutSize(h, l.K, l.Stride, 0)
 	ow := tensor.ConvOutSize(w, l.K, l.Stride, 0)
 	l.inShape = append(l.inShape[:0], x.Shape...)
-	y := tensor.New(n, c, oh, ow)
+	y := l.ws.GetRaw("y", n, c, oh, ow)
 	if cap(l.argmax) < y.Len() {
 		l.argmax = make([]int, y.Len())
 	}
 	l.argmax = l.argmax[:y.Len()]
-	oi := 0
-	for ncIdx := 0; ncIdx < n*c; ncIdx++ {
-		plane := x.Data[ncIdx*h*w : (ncIdx+1)*h*w]
-		for py := 0; py < oh; py++ {
-			for px := 0; px < ow; px++ {
-				bestIdx := (py*l.Stride)*w + px*l.Stride
-				best := plane[bestIdx]
-				for ky := 0; ky < l.K; ky++ {
-					iy := py*l.Stride + ky
-					if iy >= h {
-						break
-					}
-					for kx := 0; kx < l.K; kx++ {
-						ix := px*l.Stride + kx
-						if ix >= w {
+	planeOut := oh * ow
+	tensor.ParallelChunks(n*c, n*c*planeOut*l.K*l.K, func(_, lo, hi int) {
+		for ncIdx := lo; ncIdx < hi; ncIdx++ {
+			plane := x.Data[ncIdx*h*w : (ncIdx+1)*h*w]
+			oi := ncIdx * planeOut
+			for py := 0; py < oh; py++ {
+				for px := 0; px < ow; px++ {
+					bestIdx := (py*l.Stride)*w + px*l.Stride
+					best := plane[bestIdx]
+					for ky := 0; ky < l.K; ky++ {
+						iy := py*l.Stride + ky
+						if iy >= h {
 							break
 						}
-						idx := iy*w + ix
-						if plane[idx] > best {
-							best = plane[idx]
-							bestIdx = idx
+						for kx := 0; kx < l.K; kx++ {
+							ix := px*l.Stride + kx
+							if ix >= w {
+								break
+							}
+							idx := iy*w + ix
+							if plane[idx] > best {
+								best = plane[idx]
+								bestIdx = idx
+							}
 						}
 					}
+					y.Data[oi] = best
+					l.argmax[oi] = ncIdx*h*w + bestIdx
+					oi++
 				}
-				y.Data[oi] = best
-				l.argmax[oi] = ncIdx*h*w + bestIdx
-				oi++
 			}
 		}
-	}
+	})
 	return y
 }
 
 // Backward implements Layer.
 func (l *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(l.inShape...)
-	for i, g := range dy.Data {
-		dx.Data[l.argmax[i]] += g
-	}
+	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
+	oh := tensor.ConvOutSize(h, l.K, l.Stride, 0)
+	ow := tensor.ConvOutSize(w, l.K, l.Stride, 0)
+	dx := l.ws.Get("dx", l.inShape...)
+	planeOut := oh * ow
+	// Each plane's argmax indices stay inside that plane's region of dx, so
+	// plane-partitioned scatters never collide; per-plane dy order matches
+	// the sequential loop, keeping accumulation bit-identical.
+	tensor.ParallelChunks(n*c, n*c*planeOut, func(_, lo, hi int) {
+		for ncIdx := lo; ncIdx < hi; ncIdx++ {
+			for oi := ncIdx * planeOut; oi < (ncIdx+1)*planeOut; oi++ {
+				dx.Data[l.argmax[oi]] += dy.Data[oi]
+			}
+		}
+	})
 	return dx
 }
 
 // Params implements Layer.
 func (l *MaxPool2D) Params() []*Param { return nil }
 
-// AvgPool2D applies k×k average pooling with the given stride.
+// AvgPool2D applies k×k average pooling with the given stride, with the same
+// batch-parallel plane partitioning and workspace reuse as MaxPool2D.
 type AvgPool2D struct {
 	name    string
 	K       int
 	Stride  int
+	ws      *tensor.Workspace
 	inShape []int
 }
 
@@ -100,7 +122,7 @@ func NewAvgPool2D(name string, k, stride int) *AvgPool2D {
 	if k <= 0 || stride <= 0 {
 		panic("nn: pooling kernel and stride must be positive")
 	}
-	return &AvgPool2D{name: name, K: k, Stride: stride}
+	return &AvgPool2D{name: name, K: k, Stride: stride, ws: tensor.NewWorkspace()}
 }
 
 // Name implements Layer.
@@ -115,32 +137,35 @@ func (l *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := tensor.ConvOutSize(h, l.K, l.Stride, 0)
 	ow := tensor.ConvOutSize(w, l.K, l.Stride, 0)
 	l.inShape = append(l.inShape[:0], x.Shape...)
-	y := tensor.New(n, c, oh, ow)
+	y := l.ws.GetRaw("y", n, c, oh, ow)
 	inv := 1 / float32(l.K*l.K)
-	oi := 0
-	for ncIdx := 0; ncIdx < n*c; ncIdx++ {
-		plane := x.Data[ncIdx*h*w : (ncIdx+1)*h*w]
-		for py := 0; py < oh; py++ {
-			for px := 0; px < ow; px++ {
-				var s float32
-				for ky := 0; ky < l.K; ky++ {
-					iy := py*l.Stride + ky
-					if iy >= h {
-						break
-					}
-					for kx := 0; kx < l.K; kx++ {
-						ix := px*l.Stride + kx
-						if ix >= w {
+	planeOut := oh * ow
+	tensor.ParallelChunks(n*c, n*c*planeOut*l.K*l.K, func(_, lo, hi int) {
+		for ncIdx := lo; ncIdx < hi; ncIdx++ {
+			plane := x.Data[ncIdx*h*w : (ncIdx+1)*h*w]
+			oi := ncIdx * planeOut
+			for py := 0; py < oh; py++ {
+				for px := 0; px < ow; px++ {
+					var s float32
+					for ky := 0; ky < l.K; ky++ {
+						iy := py*l.Stride + ky
+						if iy >= h {
 							break
 						}
-						s += plane[iy*w+ix]
+						for kx := 0; kx < l.K; kx++ {
+							ix := px*l.Stride + kx
+							if ix >= w {
+								break
+							}
+							s += plane[iy*w+ix]
+						}
 					}
+					y.Data[oi] = s * inv
+					oi++
 				}
-				y.Data[oi] = s * inv
-				oi++
 			}
 		}
-	}
+	})
 	return y
 }
 
@@ -149,31 +174,34 @@ func (l *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
 	oh := tensor.ConvOutSize(h, l.K, l.Stride, 0)
 	ow := tensor.ConvOutSize(w, l.K, l.Stride, 0)
-	dx := tensor.New(l.inShape...)
+	dx := l.ws.Get("dx", l.inShape...)
 	inv := 1 / float32(l.K*l.K)
-	oi := 0
-	for ncIdx := 0; ncIdx < n*c; ncIdx++ {
-		plane := dx.Data[ncIdx*h*w : (ncIdx+1)*h*w]
-		for py := 0; py < oh; py++ {
-			for px := 0; px < ow; px++ {
-				g := dy.Data[oi] * inv
-				oi++
-				for ky := 0; ky < l.K; ky++ {
-					iy := py*l.Stride + ky
-					if iy >= h {
-						break
-					}
-					for kx := 0; kx < l.K; kx++ {
-						ix := px*l.Stride + kx
-						if ix >= w {
+	planeOut := oh * ow
+	tensor.ParallelChunks(n*c, n*c*planeOut*l.K*l.K, func(_, lo, hi int) {
+		for ncIdx := lo; ncIdx < hi; ncIdx++ {
+			plane := dx.Data[ncIdx*h*w : (ncIdx+1)*h*w]
+			oi := ncIdx * planeOut
+			for py := 0; py < oh; py++ {
+				for px := 0; px < ow; px++ {
+					g := dy.Data[oi] * inv
+					oi++
+					for ky := 0; ky < l.K; ky++ {
+						iy := py*l.Stride + ky
+						if iy >= h {
 							break
 						}
-						plane[iy*w+ix] += g
+						for kx := 0; kx < l.K; kx++ {
+							ix := px*l.Stride + kx
+							if ix >= w {
+								break
+							}
+							plane[iy*w+ix] += g
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 

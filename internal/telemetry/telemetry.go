@@ -25,6 +25,19 @@ package telemetry
 
 import "time"
 
+// Gauge names for the tensor-workspace reuse counters the trainer exports at
+// every epoch boundary. They are cumulative process-wide totals (see
+// tensor.WorkspaceStats); paired with the epoch heap-delta samples they show
+// whether the hot path is reusing scratch buffers instead of allocating.
+const (
+	// GaugeWorkspaceHits counts buffer requests served from an existing slot.
+	GaugeWorkspaceHits = "workspace/hits"
+	// GaugeWorkspaceMisses counts requests that had to allocate or grow.
+	GaugeWorkspaceMisses = "workspace/misses"
+	// GaugeWorkspaceBytesReused totals bytes handed out without allocating.
+	GaugeWorkspaceBytesReused = "workspace/bytes_reused"
+)
+
 // Phase distinguishes the two halves of a training step a layer span can
 // belong to.
 type Phase uint8

@@ -15,18 +15,17 @@ func ConvOutSize(in, kernel, stride, pad int) int {
 	return out
 }
 
-// Im2Col lowers one image x of shape (C, H, W) into a column matrix of shape
-// (C*KH*KW, OH*OW) for the given kernel/stride/pad, so that convolution
-// becomes a single matrix multiply with the (F, C*KH*KW) filter matrix.
-// Out-of-bounds (padding) positions contribute zeros.
-func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
-	if len(x.Shape) != 3 {
-		panic("tensor: Im2Col requires a (C,H,W) tensor")
-	}
-	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+// Im2ColSlice lowers one (C, H, W) image stored in img into the column
+// matrix dst of shape (C*KH*KW, OH*OW), so that convolution becomes a single
+// matrix multiply with the (F, C*KH*KW) filter matrix. dst is fully
+// overwritten — padding positions are written as explicit zeros — so it can
+// come from a reused workspace buffer with stale contents.
+func Im2ColSlice(dst, img []float32, c, h, w, kh, kw, stride, pad int) {
 	oh := ConvOutSize(h, kh, stride, pad)
 	ow := ConvOutSize(w, kw, stride, pad)
-	cols := New(c*kh*kw, oh*ow)
+	if len(img) != c*h*w || len(dst) != c*kh*kw*oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColSlice buffer sizes %d/%d incompatible with (%d,%d,%d) k=%dx%d s=%d p=%d", len(dst), len(img), c, h, w, kh, kw, stride, pad))
+	}
 	colStride := oh * ow
 	for ci := 0; ci < c; ci++ {
 		imgBase := ci * h * w
@@ -35,35 +34,51 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 				rowBase := ((ci*kh+ki)*kw + kj) * colStride
 				for oi := 0; oi < oh; oi++ {
 					ii := oi*stride + ki - pad
+					dstRow := dst[rowBase+oi*ow : rowBase+(oi+1)*ow]
 					if ii < 0 || ii >= h {
-						continue // zero padding: row already zero
+						clear(dstRow) // whole row samples vertical padding
+						continue
 					}
-					srcBase := imgBase + ii*w
-					dstBase := rowBase + oi*ow
-					for oj := 0; oj < ow; oj++ {
+					srcRow := img[imgBase+ii*w : imgBase+(ii+1)*w]
+					for oj := range dstRow {
 						jj := oj*stride + kj - pad
 						if jj < 0 || jj >= w {
-							continue
+							dstRow[oj] = 0
+						} else {
+							dstRow[oj] = srcRow[jj]
 						}
-						cols.Data[dstBase+oj] = x.Data[srcBase+jj]
 					}
 				}
 			}
 		}
 	}
+}
+
+// Im2Col lowers one image x of shape (C, H, W) into a freshly allocated
+// column matrix of shape (C*KH*KW, OH*OW). See Im2ColSlice for the kernel.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.Shape) != 3 {
+		panic("tensor: Im2Col requires a (C,H,W) tensor")
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	cols := New(c*kh*kw, oh*ow)
+	Im2ColSlice(cols.Data, x.Data, c, h, w, kh, kw, stride, pad)
 	return cols
 }
 
-// Col2Im is the adjoint of Im2Col: it scatters a (C*KH*KW, OH*OW) column
-// matrix back into an image of shape (C, H, W), accumulating where windows
-// overlap. It is used to compute input gradients of a convolution.
-func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+// Col2ImSlice is the adjoint of Im2ColSlice: it scatters a (C*KH*KW, OH*OW)
+// column matrix back into the (C, H, W) image img, accumulating where
+// windows overlap. img is fully overwritten (it is zeroed first), so it can
+// come from a reused workspace buffer with stale contents.
+func Col2ImSlice(img, cols []float32, c, h, w, kh, kw, stride, pad int) {
 	oh := ConvOutSize(h, kh, stride, pad)
 	ow := ConvOutSize(w, kw, stride, pad)
-	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
-		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d) k=%dx%d s=%d p=%d", cols.Shape, c, h, w, kh, kw, stride, pad))
+	if len(img) != c*h*w || len(cols) != c*kh*kw*oh*ow {
+		panic(fmt.Sprintf("tensor: Col2ImSlice buffer sizes %d/%d incompatible with (%d,%d,%d) k=%dx%d s=%d p=%d", len(img), len(cols), c, h, w, kh, kw, stride, pad))
 	}
-	img := New(c, h, w)
+	clear(img)
 	colStride := oh * ow
 	for ci := 0; ci < c; ci++ {
 		imgBase := ci * h * w
@@ -82,11 +97,24 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 						if jj < 0 || jj >= w {
 							continue
 						}
-						img.Data[dstBase+jj] += cols.Data[srcBase+oj]
+						img[dstBase+jj] += cols[srcBase+oj]
 					}
 				}
 			}
 		}
 	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (C*KH*KW, OH*OW) column
+// matrix back into a freshly allocated image of shape (C, H, W). It is used
+// to compute input gradients of a convolution.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v incompatible with (%d,%d,%d) k=%dx%d s=%d p=%d", cols.Shape, c, h, w, kh, kw, stride, pad))
+	}
+	img := New(c, h, w)
+	Col2ImSlice(img.Data, cols.Data, c, h, w, kh, kw, stride, pad)
 	return img
 }

@@ -1,0 +1,100 @@
+package tensor
+
+import "sync/atomic"
+
+// Workspace owns named, reusable scratch buffers so hot-path kernels (im2col
+// lowering, per-sample gradient partials, pooling gradients) can run with
+// near-zero steady-state allocations. Each key names one slot; Get and GetRaw
+// return the slot's tensor resized to the requested shape, growing the
+// backing array only when the request exceeds its capacity. After the first
+// few steps of a training run every request is a hit and the workspace stops
+// touching the allocator entirely.
+//
+// A workspace is NOT safe for concurrent use: layers own one workspace each
+// and acquire all buffers before fanning work out to goroutines. A buffer
+// returned for a key is valid until the next Get/GetRaw with the same key —
+// callers must not retain it across the owning layer's next Forward/Backward.
+type Workspace struct {
+	slots map[string]*Tensor
+}
+
+// Global reuse counters, aggregated across every workspace so the trainer can
+// export them as telemetry gauges. Atomics because independent models may
+// train concurrently (each with private workspaces).
+var (
+	wsHits        atomic.Uint64
+	wsMisses      atomic.Uint64
+	wsBytesReused atomic.Uint64
+)
+
+// WorkspaceStats returns the process-wide cumulative workspace counters:
+// buffer requests served from an existing slot (hits), requests that had to
+// allocate or grow a slot (misses), and the total bytes of backing storage
+// handed out without allocating.
+func WorkspaceStats() (hits, misses, bytesReused uint64) {
+	return wsHits.Load(), wsMisses.Load(), wsBytesReused.Load()
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace {
+	return &Workspace{slots: make(map[string]*Tensor)}
+}
+
+// Get returns the slot's tensor resized to shape with every element zeroed.
+// Use it when the caller accumulates into the buffer (Col2Im scatter, pooling
+// gradients).
+func (ws *Workspace) Get(key string, shape ...int) *Tensor {
+	t := ws.GetRaw(key, shape...)
+	clear(t.Data)
+	return t
+}
+
+// GetRaw returns the slot's tensor resized to shape with undefined contents.
+// Use it only when the caller fully overwrites the buffer (Im2ColSlice,
+// matmul outputs).
+func (ws *Workspace) GetRaw(key string, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("tensor: non-positive dimension in Workspace.Get shape")
+		}
+		n *= d
+	}
+	t := ws.slots[key]
+	if t == nil || cap(t.Data) < n {
+		// Built by hand rather than via New so the variadic shape slice never
+		// escapes: steady-state GetRaw calls must not touch the allocator.
+		sh := make([]int, len(shape))
+		copy(sh, shape)
+		t = &Tensor{Shape: sh, Data: make([]float32, n)}
+		ws.slots[key] = t
+		wsMisses.Add(1)
+		return t
+	}
+	wsHits.Add(1)
+	wsBytesReused.Add(uint64(n) * 4)
+	t.Data = t.Data[:n]
+	if len(t.Shape) == len(shape) {
+		copy(t.Shape, shape)
+	} else {
+		t.Shape = append(t.Shape[:0], shape...)
+	}
+	return t
+}
+
+// Bytes reports the total backing storage currently retained by the
+// workspace (capacity, not the in-use length).
+func (ws *Workspace) Bytes() int {
+	total := 0
+	for _, t := range ws.slots {
+		total += cap(t.Data) * 4
+	}
+	return total
+}
+
+// Reset drops every slot, releasing the backing storage to the garbage
+// collector. Useful when a model switches to a much smaller input shape and
+// the old high-water-mark buffers should not linger.
+func (ws *Workspace) Reset() {
+	clear(ws.slots)
+}

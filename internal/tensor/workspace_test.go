@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestWorkspaceGetZeroesAndReuses(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get("a", 2, 3)
+	if a.Len() != 6 || a.Shape[0] != 2 || a.Shape[1] != 3 {
+		t.Fatalf("unexpected tensor %v", a.Shape)
+	}
+	for i := range a.Data {
+		a.Data[i] = float32(i + 1)
+	}
+	// Same key, same size: must hand back the same backing array, zeroed.
+	b := ws.Get("a", 2, 3)
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatal("expected Get to reuse the backing array")
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("Get left stale value %v at %d", v, i)
+		}
+	}
+}
+
+func TestWorkspaceGetRawKeepsContents(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.GetRaw("a", 4)
+	for i := range a.Data {
+		a.Data[i] = 7
+	}
+	b := ws.GetRaw("a", 4)
+	if &b.Data[0] != &a.Data[0] {
+		t.Fatal("expected GetRaw to reuse the backing array")
+	}
+	if b.Data[2] != 7 {
+		t.Fatal("GetRaw must not clear the buffer")
+	}
+}
+
+func TestWorkspaceShrinkAndRegrowWithinCapacity(t *testing.T) {
+	ws := NewWorkspace()
+	big := ws.GetRaw("s", 3, 4)
+	base := &big.Data[0]
+	small := ws.GetRaw("s", 2, 2)
+	if small.Len() != 4 || &small.Data[0] != base {
+		t.Fatal("shrink within capacity should reuse storage")
+	}
+	again := ws.GetRaw("s", 12)
+	if again.Len() != 12 || &again.Data[0] != base {
+		t.Fatal("regrow within capacity should reuse storage")
+	}
+	if len(again.Shape) != 1 || again.Shape[0] != 12 {
+		t.Fatalf("shape not updated: %v", again.Shape)
+	}
+}
+
+func TestWorkspaceGrowthAllocates(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.GetRaw("g", 2)
+	b := ws.GetRaw("g", 100)
+	if len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0] {
+		t.Fatal("growth beyond capacity must reallocate")
+	}
+	if b.Len() != 100 {
+		t.Fatalf("got len %d", b.Len())
+	}
+}
+
+func TestWorkspaceStatsCount(t *testing.T) {
+	h0, m0, r0 := WorkspaceStats()
+	ws := NewWorkspace()
+	ws.Get("k", 8)    // miss
+	ws.Get("k", 8)    // hit, 32 bytes reused
+	ws.GetRaw("k", 4) // hit, 16 bytes reused
+	h1, m1, r1 := WorkspaceStats()
+	if m1-m0 < 1 {
+		t.Fatalf("expected at least one miss, got %d", m1-m0)
+	}
+	if h1-h0 < 2 {
+		t.Fatalf("expected at least two hits, got %d", h1-h0)
+	}
+	if r1-r0 < 48 {
+		t.Fatalf("expected at least 48 bytes reused, got %d", r1-r0)
+	}
+}
+
+func TestWorkspaceBytesAndReset(t *testing.T) {
+	ws := NewWorkspace()
+	ws.GetRaw("a", 10)
+	ws.GetRaw("b", 6)
+	if got := ws.Bytes(); got < 64 {
+		t.Fatalf("Bytes() = %d, want >= 64", got)
+	}
+	ws.Reset()
+	if got := ws.Bytes(); got != 0 {
+		t.Fatalf("Bytes() after Reset = %d, want 0", got)
+	}
+	// Slots repopulate after reset.
+	fresh := ws.Get("a", 3)
+	if fresh.Len() != 3 {
+		t.Fatal("workspace unusable after Reset")
+	}
+}
+
+func TestWorkspaceBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dimension")
+		}
+	}()
+	NewWorkspace().Get("x", 0, 3)
+}
+
+func TestWorkspaceSteadyStateAllocFree(t *testing.T) {
+	ws := NewWorkspace()
+	ws.Get("a", 16, 16)
+	ws.GetRaw("b", 64)
+	allocs := testing.AllocsPerRun(50, func() {
+		ws.Get("a", 16, 16)
+		ws.GetRaw("b", 64)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state workspace access allocates %.0f objects", allocs)
+	}
+}

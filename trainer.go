@@ -13,6 +13,7 @@ import (
 	"dropback/internal/prune"
 	"dropback/internal/stats"
 	"dropback/internal/telemetry"
+	"dropback/internal/tensor"
 )
 
 // Method selects the training regime.
@@ -329,6 +330,10 @@ epochs:
 				rec.Gauge("dropback/regenerations", float64(db.Regenerations()))
 				rec.Gauge("dropback/tracked_writes", float64(db.TrackedWrites()))
 			}
+			wsHits, wsMisses, wsBytes := tensor.WorkspaceStats()
+			rec.Gauge(telemetry.GaugeWorkspaceHits, float64(wsHits))
+			rec.Gauge(telemetry.GaugeWorkspaceMisses, float64(wsMisses))
+			rec.Gauge(telemetry.GaugeWorkspaceBytesReused, float64(wsBytes))
 			rec.EpochDone(telemetry.EpochSample{
 				Epoch: epoch + 1, TrainLoss: es.TrainLoss, TrainAcc: es.TrainAcc,
 				ValLoss: es.ValLoss, ValAcc: es.ValAcc,
