@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test race bench bench-guard bench-telemetry clean
+.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-telemetry clean
 
-check: build fmt-check vet test race bench bench-guard
+check: build fmt-check vet test fuzz race bench bench-guard
 
 build:
 	$(GO) build ./...
@@ -25,8 +25,13 @@ vet:
 test:
 	$(GO) test ./...
 
+# Short coverage-guided run of the checkpoint-decoder fuzzer, mirroring the
+# CI fuzz smoke step.
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
+
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/core .
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/core ./internal/checkpoint .
 
 # One iteration per benchmark: a smoke test that every benchmark still runs.
 bench:

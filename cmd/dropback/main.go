@@ -43,6 +43,11 @@ func main() {
 		labels   = flag.String("mnist-labels", "", "path to MNIST IDX label file (optional)")
 		saveCkpt = flag.String("save-checkpoint", "", "write a dense checkpoint of the trained model to this path")
 		loadCkpt = flag.String("load-checkpoint", "", "initialize the model from a dense checkpoint before training")
+		ckptDir  = flag.String("checkpoint-dir", "", "write rotating crash-safe training checkpoints into this directory")
+		ckptEv   = flag.Int("checkpoint-every", 1, "with -checkpoint-dir, checkpoint every N epochs")
+		ckptKeep = flag.Int("checkpoint-keep", 3, "with -checkpoint-dir, keep this many checkpoints (negative: all)")
+		resume   = flag.Bool("resume", false, "with -checkpoint-dir, resume from the newest valid checkpoint (corrupt files are skipped)")
+		retries  = flag.Int("recovery-retries", 0, "roll back and retry with halved LR on NaN/Inf up to N times (0: divergence aborts)")
 		exportSp = flag.String("export-sparse", "", "write the sparse deployment artifact to this path")
 		telJSONL = flag.String("telemetry", "", "write a JSONL telemetry stream (layer timings, step samples, gauges) to this path")
 		telTable = flag.Bool("telemetry-summary", false, "print the telemetry summary table after training")
@@ -90,7 +95,17 @@ func main() {
 
 	cfg := dropback.TrainConfig{
 		Epochs: *epochs, BatchSize: *batch, Seed: *seed, Patience: 5,
-		Schedule: optim.StepDecay{Initial: float32(*lr), Factor: 0.5, Every: max(1, *epochs/5)},
+		Schedule:           optim.StepDecay{Initial: float32(*lr), Factor: 0.5, Every: max(1, *epochs/5)},
+		MaxRecoveryRetries: *retries,
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
+		os.Exit(1)
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = &dropback.CheckpointSpec{
+			Dir: *ckptDir, Every: *ckptEv, Keep: *ckptKeep, Resume: *resume,
+		}
 	}
 	if *verbose {
 		cfg.Progress = func(s string) { fmt.Println(s) }
@@ -140,7 +155,14 @@ func main() {
 
 	fmt.Printf("model %s (%d params), method %s, %d train / %d val samples\n",
 		*model, m.Set.Total(), cfg.Method, train.Len(), val.Len())
-	res := dropback.Train(m, train, val, cfg)
+	res, err := dropback.TrainE(m, train, val, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if res.Rollbacks > 0 {
+		fmt.Printf("divergence recovery: %d rollback(s), final LR scale %.4g\n", res.Rollbacks, res.LRScale)
+	}
 	if res.Diverged {
 		fmt.Println("training diverged")
 	}

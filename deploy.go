@@ -37,9 +37,34 @@ func SaveSparse(path string, a *SparseArtifact) error { return sparse.Save(path,
 func LoadSparse(path string) (*SparseArtifact, error) { return sparse.Load(path) }
 
 // SaveCheckpoint writes a dense checkpoint (all weights + batch norm
-// statistics) of the model to a file — the training save/resume path.
+// statistics) of the model to a file — the training save/resume path. The
+// write is atomic: a crash mid-save leaves any previous file at path intact.
 func SaveCheckpoint(path string, m *Model) error { return checkpoint.Save(path, m) }
 
 // LoadCheckpoint reads a dense checkpoint file into a model of the same
 // architecture.
 func LoadCheckpoint(path string, m *Model) error { return checkpoint.Load(path, m) }
+
+// TrainState is the resumable training state a managed checkpoint carries
+// beyond the weights: epoch/step counters, batch order, optimizer and
+// DropBack state, best-epoch tracking, and the divergence-recovery backoff.
+type TrainState = checkpoint.TrainState
+
+// CheckpointManager maintains a rotating directory of crash-safe training
+// checkpoints and loads the newest valid one, skipping corrupt files.
+type CheckpointManager = checkpoint.Manager
+
+// SaveTrainCheckpoint writes a dense checkpoint together with resumable
+// training state (pass the TrainState from a previous LoadTrainCheckpoint,
+// or capture one via TrainConfig.Checkpoint's managed saves). ts may be nil
+// for a weights-only checkpoint.
+func SaveTrainCheckpoint(path string, m *Model, ts *TrainState) error {
+	return checkpoint.SaveTrain(path, m, ts)
+}
+
+// LoadTrainCheckpoint reads a checkpoint into the model and returns the
+// embedded training state, if any (nil for weights-only and version-1
+// files). Feed the state to TrainConfig.ResumeFrom to continue the run.
+func LoadTrainCheckpoint(path string, m *Model) (*TrainState, error) {
+	return checkpoint.LoadTrain(path, m)
+}

@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// writeV1 serializes a checkpoint in the legacy version-1 layout: the same
+// header with version 1, then the params and BN payloads back to back with
+// no section framing, no checksums, and no end sentinel.
+func writeV1(ck *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, Magic); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, Version1); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, ck.Seed); err != nil {
+		return nil, err
+	}
+	if err := writeParamsPayload(&buf, ck.Params); err != nil {
+		return nil, err
+	}
+	if err := writeBNPayload(&buf, ck.BNs); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func TestReadVersion1BackCompat(t *testing.T) {
+	m := convModel(21)
+	ck := Capture(m)
+	v1, err := writeV1(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 stream rejected: %v", err)
+	}
+	if got.Seed != ck.Seed {
+		t.Fatalf("seed = %d, want %d", got.Seed, ck.Seed)
+	}
+	if got.Train != nil {
+		t.Fatal("version-1 file produced a training state")
+	}
+	fresh := convModel(21)
+	if err := got.Apply(fresh); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m.Set.Snapshot(), fresh.Set.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weight %d differs after v1 round trip", i)
+		}
+	}
+	if len(got.BNs) != len(ck.BNs) {
+		t.Fatalf("BN count %d, want %d", len(got.BNs), len(ck.BNs))
+	}
+}

@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dropback/internal/fsatomic"
+	"dropback/internal/nn"
+)
+
+// Manager writes rotating, crash-safe checkpoints into a directory and
+// finds the newest loadable one on resume. File names embed the step
+// counter (ckpt-000000042.dbck) so lexical order is recovery order.
+type Manager struct {
+	// Dir is the checkpoint directory (created on first save).
+	Dir string
+	// Prefix names the checkpoint files ("ckpt" if empty).
+	Prefix string
+	// Keep bounds how many checkpoints survive rotation (3 if zero;
+	// negative keeps everything).
+	Keep int
+	// WrapWriter, if non-nil, interposes on the file writer during Save —
+	// the fault-injection seam tests use to simulate crashes mid-write.
+	WrapWriter fsatomic.WrapWriter
+}
+
+// Ext is the checkpoint file extension the Manager reads and writes.
+const Ext = ".dbck"
+
+func (g *Manager) prefix() string {
+	if g.Prefix == "" {
+		return "ckpt"
+	}
+	return g.Prefix
+}
+
+func (g *Manager) keep() int {
+	if g.Keep == 0 {
+		return 3
+	}
+	return g.Keep
+}
+
+// Path returns the file path a checkpoint at the given step is saved to.
+func (g *Manager) Path(step int) string {
+	return filepath.Join(g.Dir, fmt.Sprintf("%s-%09d%s", g.prefix(), step, Ext))
+}
+
+// Save writes the model (and optional training state) as the checkpoint for
+// ts.Step (or step 0 when ts is nil), atomically, then rotates old files
+// beyond Keep. It returns the path written.
+func (g *Manager) Save(m *nn.Model, ts *TrainState) (string, error) {
+	if err := os.MkdirAll(g.Dir, 0o755); err != nil {
+		return "", err
+	}
+	step := 0
+	if ts != nil {
+		step = ts.Step
+	}
+	ck := Capture(m)
+	ck.Train = ts
+	path := g.Path(step)
+	if err := fsatomic.WriteFile(path, g.WrapWriter, ck.Write); err != nil {
+		return "", err
+	}
+	g.rotate()
+	return path, nil
+}
+
+// List returns the manager's checkpoint files in ascending step order.
+// A missing directory is an empty list, not an error.
+func (g *Manager) List() ([]string, error) {
+	entries, err := os.ReadDir(g.Dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, g.prefix()+"-") || !strings.HasSuffix(name, Ext) {
+			continue
+		}
+		out = append(out, filepath.Join(g.Dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// rotate deletes all but the newest Keep checkpoints. Best-effort: rotation
+// failures never fail a save that already landed.
+func (g *Manager) rotate() {
+	k := g.keep()
+	if k < 0 {
+		return
+	}
+	files, err := g.List()
+	if err != nil {
+		return
+	}
+	for len(files) > k {
+		os.Remove(files[0])
+		files = files[1:]
+	}
+}
+
+// SkippedCheckpoint records one file LoadLatestValid could not use and why.
+type SkippedCheckpoint struct {
+	Path string
+	Err  error
+}
+
+// LoadReport describes what LoadLatestValid did: which file it loaded (""
+// if none was found) and which corrupt, truncated, or mismatched files it
+// skipped on the way, newest first.
+type LoadReport struct {
+	Loaded  string
+	Skipped []SkippedCheckpoint
+}
+
+// LoadLatestValid walks the directory's checkpoints newest-first, skipping
+// any that fail to parse, fail their CRC, or do not fit the model, and
+// applies the first valid one. It returns the training state from the
+// loaded file (nil when the file has none or no file was loadable) and a
+// report of everything skipped. No loadable checkpoint is not an error —
+// the caller starts fresh — but an unreadable directory is.
+func (g *Manager) LoadLatestValid(m *nn.Model) (*TrainState, *LoadReport, error) {
+	files, err := g.List()
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &LoadReport{}
+	for i := len(files) - 1; i >= 0; i-- {
+		ts, err := LoadTrain(files[i], m)
+		if err != nil {
+			report.Skipped = append(report.Skipped, SkippedCheckpoint{Path: files[i], Err: err})
+			continue
+		}
+		report.Loaded = files[i]
+		return ts, report, nil
+	}
+	return nil, report, nil
+}

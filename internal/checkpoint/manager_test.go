@@ -1,0 +1,247 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dropback/internal/core"
+	"dropback/internal/data"
+	"dropback/internal/faults"
+)
+
+func sampleTrainState(step int) *TrainState {
+	return &TrainState{
+		Epoch:      step / 10,
+		Step:       step,
+		LRScale:    0.5,
+		Retries:    1,
+		BestEpoch:  2,
+		BestValAcc: 0.75,
+		SinceBest:  1,
+		BestParams: []float32{1, 2, 3},
+		BestBN:     [][]float32{{0.1, 0.2}, {0.3}},
+		History: []EpochRecord{
+			{Epoch: 1, LR: 0.4, TrainLoss: 1.2, TrainAcc: 0.5, ValLoss: 1.1, ValAcc: 0.6},
+			{Epoch: 2, LR: 0.2, TrainLoss: 0.9, TrainAcc: 0.7, ValLoss: 0.8, ValAcc: 0.75},
+		},
+		Batcher:  data.BatcherState{RNG: 0xDEADBEEF, Perm: []int{2, 0, 1, 3}, Pos: 2},
+		OptName:  "sgd",
+		Opt:      map[string][]float32{},
+		LayerRNG: map[string]uint64{"net/drop": 42},
+		DropBack: &core.State{
+			Frozen:        true,
+			HaveSelection: true,
+			Mask:          []bool{true, false, true, true, false, false, true, false, true},
+			StepCount:     step,
+			Regenerations: 1234,
+			TrackedWrites: 567,
+			SwapHistory:   []int{3, 1, 0, 2},
+		},
+	}
+}
+
+func TestManagerRotationKeepsNewest(t *testing.T) {
+	m := trainedModel(7)
+	g := &Manager{Dir: t.TempDir(), Keep: 3}
+	for step := 10; step <= 50; step += 10 {
+		if _, err := g.Save(m, &TrainState{Step: step, Batcher: data.BatcherState{Perm: []int{0}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := g.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("rotation kept %d files, want 3: %v", len(files), files)
+	}
+	for i, wantStep := range []int{30, 40, 50} {
+		if files[i] != g.Path(wantStep) {
+			t.Fatalf("file %d = %s, want %s", i, files[i], g.Path(wantStep))
+		}
+	}
+}
+
+func TestManagerKeepNegativeKeepsAll(t *testing.T) {
+	m := trainedModel(7)
+	g := &Manager{Dir: t.TempDir(), Keep: -1}
+	for step := 1; step <= 5; step++ {
+		if _, err := g.Save(m, &TrainState{Step: step, Batcher: data.BatcherState{Perm: []int{0}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := g.List()
+	if len(files) != 5 {
+		t.Fatalf("negative Keep rotated files away: %d left", len(files))
+	}
+}
+
+func TestManagerLoadLatestValidSkipsCorrupt(t *testing.T) {
+	m := trainedModel(9)
+	g := &Manager{Dir: t.TempDir(), Keep: -1}
+	if _, err := g.Save(m, sampleTrainState(10)); err != nil {
+		t.Fatal(err)
+	}
+	newest, err := g.Save(m, sampleTrainState(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit in the newest checkpoint: its section CRC must
+	// reject it and the previous one must load.
+	if err := faults.FlipBitInFile(newest, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	fresh := trainedModel(9)
+	ts, report, err := g.LoadLatestValid(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts == nil || ts.Step != 10 {
+		t.Fatalf("loaded state = %+v, want step 10", ts)
+	}
+	if report.Loaded != g.Path(10) {
+		t.Fatalf("report.Loaded = %s, want %s", report.Loaded, g.Path(10))
+	}
+	if len(report.Skipped) != 1 || report.Skipped[0].Path != newest {
+		t.Fatalf("report.Skipped = %+v, want the corrupted newest file", report.Skipped)
+	}
+	if report.Skipped[0].Err == nil {
+		t.Fatal("skipped entry carries no error")
+	}
+}
+
+func TestManagerLoadLatestValidEmptyDirIsFreshStart(t *testing.T) {
+	g := &Manager{Dir: filepath.Join(t.TempDir(), "never-created")}
+	ts, report, err := g.LoadLatestValid(trainedModel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != nil || report.Loaded != "" || len(report.Skipped) != 0 {
+		t.Fatalf("expected fresh start, got ts=%+v report=%+v", ts, report)
+	}
+}
+
+func TestManagerCrashMidSaveLeavesPreviousIntact(t *testing.T) {
+	m := trainedModel(11)
+	g := &Manager{Dir: t.TempDir(), Keep: -1}
+	first, err := g.Save(m, sampleTrainState(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the process dying after 64 bytes of the next save.
+	g.WrapWriter = func(w io.Writer) io.Writer { return &faults.FailingWriter{W: w, N: 64} }
+	if _, err := g.Save(m, sampleTrainState(20)); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Save error = %v, want injected failure", err)
+	}
+	g.WrapWriter = nil
+
+	files, _ := g.List()
+	if len(files) != 1 || files[0] != first {
+		t.Fatalf("directory after crashed save: %v, want only %s", files, first)
+	}
+	after, _ := os.ReadFile(first)
+	if string(before) != string(after) {
+		t.Fatal("crashed save modified the previous checkpoint")
+	}
+	if tmp, _ := filepath.Glob(filepath.Join(g.Dir, "*.tmp")); len(tmp) != 0 {
+		t.Fatalf("crashed save left temp files: %v", tmp)
+	}
+	fresh := trainedModel(11)
+	ts, _, err := g.LoadLatestValid(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts == nil || ts.Step != 10 {
+		t.Fatalf("resume loaded %+v, want the step-10 state", ts)
+	}
+}
+
+func TestTrainStateRoundTrip(t *testing.T) {
+	m := trainedModel(13)
+	path := filepath.Join(t.TempDir(), "ts.dbck")
+	want := sampleTrainState(42)
+	want.Opt = map[string][]float32{"v/ck/fc1/w": {0.5, -0.5}, "t": {3}}
+	if err := SaveTrain(path, m, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrain(path, trainedModel(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadTrain returned nil state")
+	}
+	if got.Epoch != want.Epoch || got.Step != want.Step || got.LRScale != want.LRScale ||
+		got.Retries != want.Retries || got.BestEpoch != want.BestEpoch ||
+		got.BestValAcc != want.BestValAcc || got.SinceBest != want.SinceBest {
+		t.Fatalf("scalar fields differ:\n got %+v\nwant %+v", got, want)
+	}
+	if len(got.BestParams) != len(want.BestParams) {
+		t.Fatalf("BestParams length %d, want %d", len(got.BestParams), len(want.BestParams))
+	}
+	for i := range want.BestParams {
+		if got.BestParams[i] != want.BestParams[i] {
+			t.Fatalf("BestParams[%d] = %v, want %v", i, got.BestParams[i], want.BestParams[i])
+		}
+	}
+	if len(got.BestBN) != 2 || got.BestBN[1][0] != 0.3 {
+		t.Fatalf("BestBN round trip broken: %+v", got.BestBN)
+	}
+	if len(got.History) != 2 || got.History[1] != want.History[1] {
+		t.Fatalf("History round trip broken: %+v", got.History)
+	}
+	if got.Batcher.RNG != want.Batcher.RNG || got.Batcher.Pos != want.Batcher.Pos {
+		t.Fatalf("Batcher state differs: %+v vs %+v", got.Batcher, want.Batcher)
+	}
+	for i, p := range want.Batcher.Perm {
+		if got.Batcher.Perm[i] != p {
+			t.Fatalf("Perm[%d] = %d, want %d", i, got.Batcher.Perm[i], p)
+		}
+	}
+	if got.OptName != "sgd" || len(got.Opt) != 2 || got.Opt["t"][0] != 3 {
+		t.Fatalf("optimizer state differs: %q %+v", got.OptName, got.Opt)
+	}
+	if got.LayerRNG["net/drop"] != 42 {
+		t.Fatalf("LayerRNG differs: %+v", got.LayerRNG)
+	}
+	db := got.DropBack
+	if db == nil || !db.Frozen || !db.HaveSelection || db.StepCount != 42 ||
+		db.Regenerations != 1234 || db.TrackedWrites != 567 {
+		t.Fatalf("DropBack scalars differ: %+v", db)
+	}
+	if len(db.Mask) != len(want.DropBack.Mask) {
+		t.Fatalf("mask length %d, want %d", len(db.Mask), len(want.DropBack.Mask))
+	}
+	for i, v := range want.DropBack.Mask {
+		if db.Mask[i] != v {
+			t.Fatalf("Mask[%d] = %v, want %v", i, db.Mask[i], v)
+		}
+	}
+	for i, v := range want.DropBack.SwapHistory {
+		if db.SwapHistory[i] != v {
+			t.Fatalf("SwapHistory[%d] = %d, want %d", i, db.SwapHistory[i], v)
+		}
+	}
+}
+
+func TestWeightsOnlyCheckpointHasNilTrainState(t *testing.T) {
+	m := trainedModel(15)
+	path := filepath.Join(t.TempDir(), "plain.dbck")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := LoadTrain(path, trainedModel(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != nil {
+		t.Fatalf("weights-only checkpoint returned training state %+v", ts)
+	}
+}

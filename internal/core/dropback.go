@@ -235,6 +235,69 @@ func (d *DropBack) MaybeFreezeAtEpochEnd(epoch int) {
 	}
 }
 
+// State is DropBack's resumable constraint state: everything Apply's
+// behavior depends on beyond the weights themselves (which the caller
+// checkpoints separately), plus the telemetry counters so a resumed run
+// reports the same totals an uninterrupted run would.
+type State struct {
+	// Frozen and HaveSelection mirror the constraint's phase: whether the
+	// tracked set is locked, and whether any selection has happened yet.
+	Frozen        bool
+	HaveSelection bool
+	// Mask is the latest tracked-set selection (empty if none yet).
+	Mask []bool
+	// StepCount, Regenerations, TrackedWrites and SwapHistory restore the
+	// telemetry counters.
+	StepCount     int
+	Regenerations int64
+	TrackedWrites int64
+	SwapHistory   []int
+}
+
+// State captures the constraint's resumable state.
+func (d *DropBack) State() State {
+	st := State{
+		Frozen:        d.frozen,
+		HaveSelection: d.havePrev,
+		StepCount:     d.stepCount,
+		Regenerations: d.regenerations,
+		TrackedWrites: d.trackedWrites,
+		SwapHistory:   d.SwapHistory(),
+	}
+	if d.havePrev {
+		st.Mask = d.Mask()
+	}
+	return st
+}
+
+// RestoreState rewinds the constraint to a previously captured state. The
+// mask length must match the parameter space (or be empty when no selection
+// had happened yet).
+func (d *DropBack) RestoreState(st State) error {
+	if st.HaveSelection && len(st.Mask) != d.set.Total() {
+		return fmt.Errorf("core: state mask covers %d weights, parameter space has %d", len(st.Mask), d.set.Total())
+	}
+	d.frozen = st.Frozen
+	d.havePrev = st.HaveSelection
+	if st.HaveSelection {
+		// After Apply the latest selection lives in prevMask; the frozen
+		// path reads mask directly. Restore both so either path resumes
+		// exactly where the captured run stood.
+		copy(d.prevMask, st.Mask)
+		copy(d.mask, st.Mask)
+	} else {
+		for i := range d.mask {
+			d.mask[i] = false
+			d.prevMask[i] = false
+		}
+	}
+	d.stepCount = st.StepCount
+	d.regenerations = st.Regenerations
+	d.trackedWrites = st.TrackedWrites
+	d.swapHistory = append(d.swapHistory[:0], st.SwapHistory...)
+	return nil
+}
+
 // Mask returns a copy of the current tracked-set mask over global indices.
 func (d *DropBack) Mask() []bool {
 	src := d.mask

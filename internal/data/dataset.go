@@ -125,6 +125,47 @@ func (b *Batcher) reshuffle() {
 	b.pos = 0
 }
 
+// BatcherState is the batcher's resumable position: the shuffle RNG state,
+// the current permutation, and the cursor into it. Restoring it replays the
+// exact remaining batch sequence of the captured run — the property that
+// makes checkpoint-resumed training bit-identical to an uninterrupted run.
+type BatcherState struct {
+	RNG  uint64
+	Perm []int
+	Pos  int
+}
+
+// State captures the batcher's current position.
+func (b *Batcher) State() BatcherState {
+	perm := make([]int, len(b.perm))
+	copy(perm, b.perm)
+	return BatcherState{RNG: b.rng.State(), Perm: perm, Pos: b.pos}
+}
+
+// Restore rewinds the batcher to a previously captured state. The state must
+// describe the same dataset (permutation length and index range are
+// validated).
+func (b *Batcher) Restore(st BatcherState) error {
+	if len(st.Perm) != b.ds.Len() {
+		return fmt.Errorf("data: batcher state permutes %d samples, dataset has %d", len(st.Perm), b.ds.Len())
+	}
+	if st.Pos < 0 || st.Pos > len(st.Perm) {
+		return fmt.Errorf("data: batcher position %d out of range [0,%d]", st.Pos, len(st.Perm))
+	}
+	for _, j := range st.Perm {
+		if j < 0 || j >= b.ds.Len() {
+			return fmt.Errorf("data: batcher permutation index %d out of range", j)
+		}
+	}
+	if b.perm == nil {
+		b.perm = make([]int, b.ds.Len())
+	}
+	copy(b.perm, st.Perm)
+	b.pos = st.Pos
+	b.rng.SetState(st.RNG)
+	return nil
+}
+
 // BatchesPerEpoch returns the number of full batches per epoch (a trailing
 // partial batch is dropped, keeping batch statistics uniform).
 func (b *Batcher) BatchesPerEpoch() int {

@@ -1,0 +1,153 @@
+// Package faults is a reusable fault-injection harness for robustness
+// testing. It provides the I/O failure modes a training service must
+// survive — writes that error partway (a full disk), writes that stop dead
+// at a chosen byte (a crash or power loss), reads that deliver flipped bits
+// (storage corruption) — plus a training-loop hook that injects a NaN into
+// a chosen gradient at a chosen step (a numerical fault). Production code
+// never imports this package; tests wire its writers and hooks through the
+// seams the runtime exposes (fsatomic.WrapWriter, TrainConfig.GradHook).
+package faults
+
+import (
+	"errors"
+	"io"
+	"math"
+	"os"
+
+	"dropback/internal/nn"
+)
+
+// ErrInjected is the default error injected writers and readers return.
+var ErrInjected = errors.New("faults: injected failure")
+
+// FailingWriter passes writes through until N bytes have been written, then
+// returns Err (ErrInjected if nil) forever — a disk filling up, or a
+// process killed mid-write whose error surfaces to the caller. The byte at
+// the boundary is a partial write: the first failing call writes what fits
+// under the limit and reports the error.
+type FailingWriter struct {
+	W io.Writer
+	// N is the number of bytes allowed through before failure.
+	N int64
+	// Err overrides ErrInjected when non-nil.
+	Err error
+
+	written int64
+}
+
+// Write implements io.Writer.
+func (f *FailingWriter) Write(p []byte) (int, error) {
+	remaining := f.N - f.written
+	if remaining <= 0 {
+		return 0, f.err()
+	}
+	if int64(len(p)) <= remaining {
+		n, err := f.W.Write(p)
+		f.written += int64(n)
+		return n, err
+	}
+	n, err := f.W.Write(p[:remaining])
+	f.written += int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, f.err()
+}
+
+// Written returns the number of bytes that made it through.
+func (f *FailingWriter) Written() int64 { return f.written }
+
+func (f *FailingWriter) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrInjected
+}
+
+// ShortWriter violates the io.Writer contract the way a buggy transport
+// does: each call writes at most Max bytes and reports the truncated count
+// with a nil error. Correct callers (bufio, binary.Write wrappers) must
+// detect the short write and fail rather than silently truncate.
+type ShortWriter struct {
+	W   io.Writer
+	Max int
+}
+
+// Write implements io.Writer.
+func (s *ShortWriter) Write(p []byte) (int, error) {
+	if len(p) <= s.Max {
+		return s.W.Write(p)
+	}
+	return s.W.Write(p[:s.Max])
+}
+
+// FlipReader passes reads through, flipping bit Bit of the byte at stream
+// offset Offset — a single-event storage or memory corruption.
+type FlipReader struct {
+	R      io.Reader
+	Offset int64
+	Bit    uint8
+
+	pos int64
+}
+
+// Read implements io.Reader.
+func (f *FlipReader) Read(p []byte) (int, error) {
+	n, err := f.R.Read(p)
+	if n > 0 && f.Offset >= f.pos && f.Offset < f.pos+int64(n) {
+		p[f.Offset-f.pos] ^= 1 << (f.Bit % 8)
+	}
+	f.pos += int64(n)
+	return n, err
+}
+
+// FlipBitInFile flips one bit of the file in place — corrupting an
+// already-written artifact the way LoadLatestValid must detect and skip.
+func FlipBitInFile(path string, offset int64, bit uint8) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	_, err = f.WriteAt(b[:], offset)
+	return err
+}
+
+// TruncateFile cuts the file to n bytes — the torn tail a crash between
+// write and fsync leaves behind on a non-atomic writer.
+func TruncateFile(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+// NaNInjector corrupts one gradient at one global step, once. Its Hook fits
+// the trainer's GradHook seam: it fires after the backward pass and before
+// the optimizer applies the gradients, which is exactly where a numerical
+// fault (overflowed activation, bad reduction) lands in a real run.
+type NaNInjector struct {
+	// Step is the zero-based global optimizer step to corrupt.
+	Step int
+	// Index is the flat global parameter index whose gradient turns NaN.
+	Index int
+
+	fired bool
+}
+
+// Fired reports whether the injection has happened.
+func (n *NaNInjector) Fired() bool { return n.fired }
+
+// Hook returns the gradient hook to install as TrainConfig.GradHook.
+func (n *NaNInjector) Hook() func(step int, set *nn.ParamSet) {
+	return func(step int, set *nn.ParamSet) {
+		if n.fired || step != n.Step {
+			return
+		}
+		n.fired = true
+		p, e := set.Locate(n.Index)
+		set.Params()[p].Grad.Data[e] = float32(math.NaN())
+	}
+}

@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dropback/internal/models"
+)
+
+func TestFailingWriterStopsAtN(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FailingWriter{W: &buf, N: 10}
+	if n, err := fw.Write(make([]byte, 6)); n != 6 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// Crosses the limit: 4 bytes land, then the injected error.
+	if n, err := fw.Write(make([]byte, 6)); n != 4 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("boundary write: n=%d err=%v", n, err)
+	}
+	if n, err := fw.Write(make([]byte, 1)); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-failure write: n=%d err=%v", n, err)
+	}
+	if buf.Len() != 10 || fw.Written() != 10 {
+		t.Fatalf("wrote %d bytes (tracked %d), want 10", buf.Len(), fw.Written())
+	}
+}
+
+func TestShortWriterTriggersBufioError(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriterSize(&ShortWriter{W: &buf, Max: 3}, 16)
+	if _, err := bw.Write(make([]byte, 64)); err != nil && err != io.ErrShortWrite {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+	err := bw.Flush()
+	if err != io.ErrShortWrite {
+		t.Fatalf("flush error = %v, want io.ErrShortWrite", err)
+	}
+}
+
+func TestFlipReaderFlipsExactlyOneBit(t *testing.T) {
+	src := make([]byte, 100)
+	fr := &FlipReader{R: bytes.NewReader(src), Offset: 42, Bit: 3}
+	got, err := io.ReadAll(iotest(fr, 7)) // odd chunk size crosses the offset
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		want := byte(0)
+		if i == 42 {
+			want = 1 << 3
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+// iotest forces small reads so the flip offset lands mid-stream.
+func iotest(r io.Reader, chunk int) io.Reader {
+	return readerFunc(func(p []byte) (int, error) {
+		if len(p) > chunk {
+			p = p[:chunk]
+		}
+		return r.Read(p)
+	})
+}
+
+type readerFunc func([]byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+func TestFlipBitInFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	if err := os.WriteFile(path, make([]byte, 32), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBitInFile(path, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if got[5] != 1<<1 {
+		t.Fatalf("byte 5 = %#x, want %#x", got[5], 1<<1)
+	}
+}
+
+func TestNaNInjectorFiresOnce(t *testing.T) {
+	m := models.ReducedMNISTMLP("fi", 8, 12, 12, 1, nil)
+	inj := &NaNInjector{Step: 3, Index: 7}
+	hook := inj.Hook()
+	for step := 0; step < 6; step++ {
+		m.Set.ZeroGrads()
+		hook(step, m.Set)
+		nans := 0
+		for _, p := range m.Set.Params() {
+			for _, g := range p.Grad.Data {
+				if math.IsNaN(float64(g)) {
+					nans++
+				}
+			}
+		}
+		want := 0
+		if step == 3 {
+			want = 1
+		}
+		if nans != want {
+			t.Fatalf("step %d: %d NaN gradients, want %d", step, nans, want)
+		}
+	}
+	if !inj.Fired() {
+		t.Fatal("injector never fired")
+	}
+	// A replayed step 3 (post-rollback) must not re-fire.
+	m.Set.ZeroGrads()
+	hook(3, m.Set)
+	if math.IsNaN(float64(m.Set.GetGrad(7))) {
+		t.Fatal("injector fired twice")
+	}
+}

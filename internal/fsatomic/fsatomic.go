@@ -1,0 +1,68 @@
+// Package fsatomic writes files crash-safely: content goes to a temporary
+// sibling first, is flushed to stable storage with fsync, and only then
+// renamed over the final path. A crash at any byte of the write leaves the
+// previous file (or no file) at the final path — never a torn one. Both the
+// dense checkpoint writer and the sparse artifact exporter build on it.
+package fsatomic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WrapWriter optionally interposes on the file writer during WriteFile —
+// the seam the fault-injection harness uses to simulate crashes at a chosen
+// byte offset. A nil wrap is identity.
+type WrapWriter func(io.Writer) io.Writer
+
+// WriteFile atomically replaces path with the bytes produced by write.
+//
+// The sequence is: create path+".tmp", stream write() into it (through wrap,
+// if given), fsync the file, close it, rename over path, then best-effort
+// fsync the parent directory so the rename itself is durable. On any error
+// the temporary file is removed and the final path is left untouched.
+func WriteFile(path string, wrap WrapWriter, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	if wrap != nil {
+		w = wrap(f)
+	}
+	if err := write(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsatomic: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power loss.
+// Errors are ignored: not every platform or filesystem supports it, and the
+// rename has already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

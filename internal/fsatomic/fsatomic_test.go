@@ -1,0 +1,84 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	for _, content := range []string{"first", "second longer content"} {
+		err := WriteFile(path, nil, func(w io.Writer) error {
+			_, err := w.Write([]byte(content))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("content = %q, want %q", got, content)
+		}
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temporary file left behind: %v", err)
+	}
+}
+
+func TestWriteFileErrorLeavesOldFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	if err := WriteFile(path, nil, func(w io.Writer) error {
+		_, err := w.Write([]byte("good"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, nil, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "good" {
+		t.Fatalf("old content clobbered: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temporary file left behind after failure: %v", err)
+	}
+}
+
+func TestWriteFileWrapSeesBytes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	var seen int
+	wrap := func(w io.Writer) io.Writer {
+		return writerFunc(func(p []byte) (int, error) {
+			seen += len(p)
+			return w.Write(p)
+		})
+	}
+	if err := WriteFile(path, wrap, func(w io.Writer) error {
+		_, err := w.Write(make([]byte, 1234))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1234 {
+		t.Fatalf("wrap saw %d bytes, want 1234", seen)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

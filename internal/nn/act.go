@@ -135,6 +135,12 @@ func NewDropout(name string, seed uint64, p float32) *Dropout {
 // Name implements Layer.
 func (l *Dropout) Name() string { return l.name }
 
+// RNGState implements RNGStateful: the mask stream's current position.
+func (l *Dropout) RNGState() uint64 { return l.rng.State() }
+
+// SetRNGState implements RNGStateful.
+func (l *Dropout) SetRNGState(s uint64) { l.rng.SetState(s) }
+
 // Forward implements Layer.
 func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || l.P == 0 {

@@ -17,18 +17,28 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
 
+	"dropback/internal/fsatomic"
 	"dropback/internal/nn"
 )
 
 // Magic identifies a sparse artifact stream ("DBSP").
 const Magic uint32 = 0x44425350
 
-// Version is the current format version.
-const Version uint32 = 1
+// Version is the current format version. Version 2 appends a CRC32
+// (Castagnoli) trailer covering every preceding byte, so bit rot anywhere in
+// the stream is detected instead of silently corrupting weights. Version-1
+// streams (no trailer) remain readable.
+const Version uint32 = 2
+
+// Version1 is the legacy trailer-less format.
+const Version1 uint32 = 1
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Entry is one stored weight: the global flat index in the model's
 // parameter address space and its trained value.
@@ -161,9 +171,11 @@ func (a *Artifact) DenseStorageBytes() int {
 	return n
 }
 
-// Write serializes the artifact.
+// Write serializes the artifact in the current (version 2) format: the
+// version-1 layout followed by a CRC32 trailer over every preceding byte.
 func (a *Artifact) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+	h := crc32.New(crcTable)
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
 	if err := binary.Write(bw, binary.LittleEndian, Magic); err != nil {
 		return err
 	}
@@ -214,25 +226,55 @@ func (a *Artifact) Write(w io.Writer) error {
 			}
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer: CRC of everything from the magic through the last payload
+	// byte, written raw (the checksum does not checksum itself).
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+	_, err := w.Write(trailer[:])
+	return err
 }
 
-// Read parses an artifact stream.
+// Read parses an artifact stream, accepting the current checksummed format
+// and the legacy version-1 (trailer-less) format.
 func Read(r io.Reader) (*Artifact, error) {
 	br := bufio.NewReader(r)
-	var magic, version uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("sparse: reading magic: %w", err)
+	var head [8]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("sparse: reading header: %w", err)
 	}
+	magic := binary.LittleEndian.Uint32(head[:4])
+	version := binary.LittleEndian.Uint32(head[4:])
 	if magic != Magic {
 		return nil, fmt.Errorf("sparse: bad magic %#x", magic)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, fmt.Errorf("sparse: reading version: %w", err)
-	}
-	if version != Version {
+	switch version {
+	case Version1:
+		return readBody(br)
+	case Version:
+		h := crc32.New(crcTable)
+		h.Write(head[:])
+		a, err := readBody(io.TeeReader(br, h))
+		if err != nil {
+			return nil, err
+		}
+		var trailer [4]byte
+		if _, err := io.ReadFull(br, trailer[:]); err != nil {
+			return nil, fmt.Errorf("sparse: reading checksum trailer: %w", err)
+		}
+		if stored, computed := binary.LittleEndian.Uint32(trailer[:]), h.Sum32(); stored != computed {
+			return nil, fmt.Errorf("sparse: checksum mismatch (stored %#x, computed %#x)", stored, computed)
+		}
+		return a, nil
+	default:
 		return nil, fmt.Errorf("sparse: unsupported version %d", version)
 	}
+}
+
+// readBody parses the artifact payload after the magic/version header.
+func readBody(br io.Reader) (*Artifact, error) {
 	a := &Artifact{}
 	if err := binary.Read(br, binary.LittleEndian, &a.ModelSeed); err != nil {
 		return nil, fmt.Errorf("sparse: reading seed: %w", err)
@@ -305,17 +347,11 @@ func Read(r io.Reader) (*Artifact, error) {
 	return a, nil
 }
 
-// Save writes the artifact to a file.
+// Save writes the artifact to a file atomically: the bytes land in a
+// temporary file that is fsynced and renamed over path, so a crash mid-save
+// leaves any previous artifact intact.
 func Save(path string, a *Artifact) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := a.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsatomic.WriteFile(path, nil, a.Write)
 }
 
 // Load reads an artifact file.

@@ -60,6 +60,19 @@ func NewState64(seed uint64) *State64 {
 	return &State64{s: seed}
 }
 
+// State returns the generator's raw internal state, for checkpointing.
+func (g *State64) State() uint64 { return g.s }
+
+// SetState restores a state previously returned by State. A zero state is
+// mapped to the same non-zero constant NewState64 uses, keeping the
+// generator valid no matter what a (possibly corrupt) checkpoint holds.
+func (g *State64) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	g.s = s
+}
+
 // Next advances the generator and returns the next 64-bit value.
 func (g *State64) Next() uint64 {
 	x := g.s

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"dropback/internal/checkpoint"
 	"dropback/internal/core"
 	"dropback/internal/data"
 	"dropback/internal/metrics"
@@ -57,6 +58,24 @@ func (m Method) String() string {
 	default:
 		return "Unknown"
 	}
+}
+
+// CheckpointSpec configures Train's managed crash-safe checkpointing: a
+// rotating set of atomic checkpoints in Dir, one every Every epochs, each
+// carrying the full resumable TrainState.
+type CheckpointSpec struct {
+	// Dir is the checkpoint directory (created on first save).
+	Dir string
+	// Prefix names the files ("ckpt" if empty).
+	Prefix string
+	// Every saves a checkpoint every N completed epochs (1 if zero).
+	Every int
+	// Keep bounds the rotation (3 if zero; negative keeps everything).
+	Keep int
+	// Resume loads the newest valid checkpoint from Dir before training,
+	// skipping corrupt or truncated files. With no loadable checkpoint the
+	// run starts fresh.
+	Resume bool
 }
 
 // TrainConfig parameterizes a Train run.
@@ -126,6 +145,84 @@ type TrainConfig struct {
 	// telemetry enabled is bit-identical to the same run without it. Nil
 	// means disabled.
 	Telemetry telemetry.Recorder
+
+	// MaxRecoveryRetries enables divergence recovery. When positive, a
+	// NaN/Inf loss or a non-finite gradient or parameter rolls training
+	// back to the last good in-memory snapshot and retries with the
+	// learning rate halved (exponential backoff: each retry halves again),
+	// up to this many retries across the run before the result is declared
+	// Diverged. Zero keeps the historical behavior: divergence aborts
+	// immediately.
+	MaxRecoveryRetries int
+	// RecoverySnapshotEvery is the number of steps between the in-memory
+	// rollback snapshots divergence recovery restores to (1 if zero:
+	// snapshot every step, so a rollback replays only the faulty step).
+	RecoverySnapshotEvery int
+
+	// Checkpoint, if non-nil, enables managed crash-safe checkpointing
+	// (and, with Resume set, crash recovery) — see CheckpointSpec.
+	Checkpoint *CheckpointSpec
+	// ResumeFrom resumes training from a TrainState returned by
+	// LoadTrainCheckpoint (which also restores the weights). The run
+	// continues from the state's epoch up to Epochs total. Mutually
+	// exclusive with Checkpoint.Resume.
+	ResumeFrom *checkpoint.TrainState
+
+	// GradHook, if non-nil, runs after every backward pass with the
+	// zero-based global step index and the parameter set, before the
+	// optimizer applies the gradients. It exists as a fault-injection and
+	// testing seam (see internal/faults); production runs leave it nil.
+	GradHook func(step int, set *nn.ParamSet)
+}
+
+// Validate checks the configuration and reports the first problem. Train
+// panics on invalid configs; TrainE returns the error.
+func (c TrainConfig) Validate() error {
+	if c.Epochs <= 0 {
+		return fmt.Errorf("dropback: Epochs must be positive, got %d", c.Epochs)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("dropback: BatchSize must be positive, got %d", c.BatchSize)
+	}
+	if c.Method < MethodBaseline || c.Method > MethodDSD {
+		return fmt.Errorf("dropback: unknown method %d", c.Method)
+	}
+	if c.Method == MethodDropBack && c.Budget <= 0 {
+		return fmt.Errorf("dropback: DropBack requires a positive Budget, got %d", c.Budget)
+	}
+	if c.Method == MethodMagnitude && (c.PruneFraction < 0 || c.PruneFraction >= 1) {
+		return fmt.Errorf("dropback: PruneFraction must be in [0,1), got %g", c.PruneFraction)
+	}
+	if c.Method == MethodSlimming && (c.SlimPruneFraction < 0 || c.SlimPruneFraction >= 1) {
+		return fmt.Errorf("dropback: SlimPruneFraction must be in [0,1), got %g", c.SlimPruneFraction)
+	}
+	if c.Method == MethodDSD && (c.DSDSparseFraction < 0 || c.DSDSparseFraction >= 1) {
+		return fmt.Errorf("dropback: DSDSparseFraction must be in [0,1), got %g", c.DSDSparseFraction)
+	}
+	if c.Patience < 0 {
+		return fmt.Errorf("dropback: Patience must be non-negative, got %d", c.Patience)
+	}
+	if c.SnapshotEvery < 0 || c.MaxSnapshots < 0 {
+		return fmt.Errorf("dropback: SnapshotEvery and MaxSnapshots must be non-negative")
+	}
+	if c.MaxRecoveryRetries < 0 {
+		return fmt.Errorf("dropback: MaxRecoveryRetries must be non-negative, got %d", c.MaxRecoveryRetries)
+	}
+	if c.RecoverySnapshotEvery < 0 {
+		return fmt.Errorf("dropback: RecoverySnapshotEvery must be non-negative, got %d", c.RecoverySnapshotEvery)
+	}
+	if c.Checkpoint != nil {
+		if c.Checkpoint.Dir == "" {
+			return fmt.Errorf("dropback: Checkpoint.Dir must be set")
+		}
+		if c.Checkpoint.Every < 0 {
+			return fmt.Errorf("dropback: Checkpoint.Every must be non-negative, got %d", c.Checkpoint.Every)
+		}
+		if c.Checkpoint.Resume && c.ResumeFrom != nil {
+			return fmt.Errorf("dropback: Checkpoint.Resume and ResumeFrom are mutually exclusive")
+		}
+	}
+	return nil
 }
 
 // EpochStats records one epoch of training.
@@ -152,8 +249,13 @@ type Result struct {
 	// state (1 for baseline).
 	Compression float64
 	// Diverged is set when training produced NaN/Inf (the paper reports
-	// variational dropout diverging on Densenet and WRN as "90%" error).
+	// variational dropout diverging on Densenet and WRN as "90%" error)
+	// and divergence recovery was disabled or exhausted its retries.
 	Diverged bool
+	// Rollbacks counts divergence-recovery rollbacks performed; LRScale is
+	// the final backoff multiplier (1 when no rollback happened).
+	Rollbacks int
+	LRScale   float32
 
 	// SwapHistory is DropBack's per-step tracked-set entry count (Fig 2).
 	SwapHistory []int
@@ -172,12 +274,24 @@ type Result struct {
 	SnapshotSteps []int
 }
 
-// Train runs the configured regime on the model and returns the result.
-// The model must be built with variational layers when Method is
-// MethodVariational.
+// Train runs the configured regime on the model and returns the result,
+// panicking on invalid configuration or checkpoint I/O failure. Use TrainE
+// for errors as values.
 func Train(m *Model, train, val *Dataset, cfg TrainConfig) *Result {
-	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
-		panic("dropback: Epochs and BatchSize must be positive")
+	res, err := TrainE(m, train, val, cfg)
+	if err != nil {
+		panic("dropback: " + err.Error())
+	}
+	return res
+}
+
+// TrainE runs the configured regime on the model and returns the result.
+// The model must be built with variational layers when Method is
+// MethodVariational. Configuration problems, resume-state mismatches, and
+// checkpoint I/O failures are returned as errors.
+func TrainE(m *Model, train, val *Dataset, cfg TrainConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Schedule == nil {
 		// Default: the paper's step-decay shape (×0.5, four decays) spread
@@ -190,7 +304,7 @@ func Train(m *Model, train, val *Dataset, cfg TrainConfig) *Result {
 		}
 		cfg.Schedule = optim.StepDecay{Initial: 0.1, Factor: 0.5, Every: every, MaxDecays: 4}
 	}
-	res := &Result{Method: cfg.Method, Compression: 1}
+	res := &Result{Method: cfg.Method, Compression: 1, LRScale: 1}
 
 	var (
 		db   *core.DropBack
@@ -211,7 +325,7 @@ func Train(m *Model, train, val *Dataset, cfg TrainConfig) *Result {
 	case MethodVariational:
 		vd = prune.NewVD(m.Net, cfg.KLScale)
 		if vd.LayerCount() == 0 {
-			panic("dropback: MethodVariational requires a model built with variational layers")
+			return nil, fmt.Errorf("MethodVariational requires a model built with variational layers")
 		}
 	case MethodSlimming:
 		slim = prune.NewSlimming(m.Net, cfg.SlimLambda, cfg.SlimPruneFraction)
@@ -228,18 +342,76 @@ func Train(m *Model, train, val *Dataset, cfg TrainConfig) *Result {
 
 	batcher := data.NewBatcher(train, cfg.BatchSize, cfg.Seed^0xBA7C4)
 	sgd := optim.NewSGD(0)
-	diff := stats.NewDiffusion(filteredSnapshot(m.Set, cfg.SnapshotParams))
-	diff.Record(0, filteredSnapshot(m.Set, cfg.SnapshotParams))
-	maybeSnapshot(res, cfg, 0, m.Set)
+
+	// Managed checkpointing: resolve the resume state before the diffusion
+	// probes baseline themselves on the (possibly restored) weights.
+	var mgr *checkpoint.Manager
+	resume := cfg.ResumeFrom
+	if cfg.Checkpoint != nil {
+		mgr = &checkpoint.Manager{Dir: cfg.Checkpoint.Dir, Prefix: cfg.Checkpoint.Prefix, Keep: cfg.Checkpoint.Keep}
+		if cfg.Checkpoint.Resume {
+			ts, report, err := mgr.LoadLatestValid(m)
+			if err != nil {
+				return nil, err
+			}
+			if telemetryOn && len(report.Skipped) > 0 {
+				rec.Counter("recovery/skipped_corrupt_checkpoints", float64(len(report.Skipped)))
+			}
+			resume = ts
+		}
+	}
 
 	step := 0
+	startEpoch := 0
 	sinceBest := 0
+	lrScale := float32(1)
+	retries := 0
 	bestSnapshot := m.Set.Snapshot()
 	var bestBNState [][]float32
 
+	if resume != nil {
+		if err := applyResume(resume, m, batcher, sgd, db, res); err != nil {
+			return nil, err
+		}
+		startEpoch = resume.Epoch
+		step = resume.Step
+		sinceBest = resume.SinceBest
+		if resume.LRScale > 0 {
+			lrScale = resume.LRScale
+		}
+		retries = resume.Retries
+		if resume.BestEpoch > 0 && resume.BestParams != nil {
+			bestSnapshot = resume.BestParams
+			bestBNState = resume.BestBN
+		}
+		// DSD phase transitions are epoch-driven; replay the ones the
+		// captured run had already crossed (the mask is recomputed from
+		// the restored weights — DSD resume is best-effort, see DESIGN.md).
+		if dsd != nil {
+			for e := 0; e < startEpoch; e++ {
+				if e == cfg.DSDSparseStart && !dsd.Sparse() {
+					dsd.BeginSparsePhase()
+				}
+				if e == cfg.DSDSparseEnd && dsd.Sparse() {
+					dsd.EndSparsePhase()
+				}
+			}
+		}
+	}
+
+	diff := stats.NewDiffusion(filteredSnapshot(m.Set, cfg.SnapshotParams))
+	diff.Record(step, filteredSnapshot(m.Set, cfg.SnapshotParams))
+	maybeSnapshot(res, cfg, step, m.Set)
+
+	recoveryOn := cfg.MaxRecoveryRetries > 0
+	snapEvery := cfg.RecoverySnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 1
+	}
+
 epochs:
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		sgd.LR = cfg.Schedule.At(epoch)
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		sgd.LR = cfg.Schedule.At(epoch) * lrScale
 		if dsd != nil {
 			if epoch == cfg.DSDSparseStart && !dsd.Sparse() {
 				dsd.BeginSparsePhase()
@@ -255,6 +427,10 @@ epochs:
 			epochStart = time.Now()
 		}
 		nb := batcher.BatchesPerEpoch()
+		var snap *recoverySnap
+		if recoveryOn {
+			snap = captureRecoverySnap(m, batcher, db, step, 0, 0, 0, 0)
+		}
 		for b := 0; b < nb; b++ {
 			var stepStart time.Time
 			if telemetryOn {
@@ -262,35 +438,71 @@ epochs:
 			}
 			x, y := batcher.Next()
 			loss, acc := m.Step(x, y)
-			if math.IsNaN(loss) || math.IsInf(loss, 0) {
-				res.Diverged = true
-				break epochs
+			if cfg.GradHook != nil {
+				cfg.GradHook(step, m.Set)
+			}
+			diverged := math.IsNaN(loss) || math.IsInf(loss, 0)
+			if recoveryOn && !diverged && !gradsFinite(m.Set) {
+				diverged = true
+			}
+			swaps := -1
+			if !diverged {
+				if vd != nil {
+					vd.AddKLGrads()
+				}
+				if slim != nil && !slim.Pruned() {
+					slim.AddL1Grads()
+				}
+				sgd.Step(m.Set)
+				switch {
+				case db != nil:
+					swaps = db.Apply()
+				case mag != nil:
+					mag.Apply()
+				case vd != nil:
+					vd.AfterStep()
+				case slim != nil:
+					slim.AfterStep()
+				case dsd != nil:
+					dsd.AfterStep()
+				}
+				if recoveryOn && !paramsFinite(m.Set) {
+					diverged = true
+				}
+			}
+			if diverged {
+				if !recoveryOn || retries >= cfg.MaxRecoveryRetries {
+					res.Diverged = true
+					break epochs
+				}
+				// Roll back to the last good snapshot and retry the span
+				// with the learning rate halved — each further retry
+				// halves again (exponential backoff), bounded by
+				// MaxRecoveryRetries.
+				retries++
+				res.Rollbacks++
+				lrScale *= 0.5
+				sgd.LR = cfg.Schedule.At(epoch) * lrScale
+				step = snap.step
+				lossSum, accSum, epochExamples = snap.lossSum, snap.accSum, snap.examples
+				restoreRecoverySnap(m, batcher, db, snap)
+				b = snap.nextB - 1
+				if telemetryOn {
+					rec.Counter("recovery/rollbacks", 1)
+					rec.Counter("recovery/retries", 1)
+					rec.Gauge("recovery/lr_scale", float64(lrScale))
+				}
+				continue
 			}
 			lossSum += loss
 			accSum += acc
-			if vd != nil {
-				vd.AddKLGrads()
-			}
-			if slim != nil && !slim.Pruned() {
-				slim.AddL1Grads()
-			}
-			sgd.Step(m.Set)
-			switch {
-			case db != nil:
-				swaps := db.Apply()
-				if telemetryOn {
-					rec.Counter("dropback/swaps", float64(swaps))
-				}
-			case mag != nil:
-				mag.Apply()
-			case vd != nil:
-				vd.AfterStep()
-			case slim != nil:
-				slim.AfterStep()
-			case dsd != nil:
-				dsd.AfterStep()
+			if telemetryOn && swaps >= 0 {
+				rec.Counter("dropback/swaps", float64(swaps))
 			}
 			step++
+			if recoveryOn && step%snapEvery == 0 {
+				snap = captureRecoverySnap(m, batcher, db, step, b+1, lossSum, accSum, epochExamples)
+			}
 			if cfg.SnapshotEvery > 0 && step%cfg.SnapshotEvery == 0 {
 				diff.Record(step, filteredSnapshot(m.Set, cfg.SnapshotParams))
 				maybeSnapshot(res, cfg, step, m.Set)
@@ -344,29 +556,44 @@ epochs:
 			cfg.Progress(fmt.Sprintf("epoch %3d lr %.4f train loss %.4f acc %.4f | val loss %.4f acc %.4f",
 				es.Epoch, es.LR, es.TrainLoss, es.TrainAcc, es.ValLoss, es.ValAcc))
 		}
-		if valAcc > res.BestValAcc {
+		improved := valAcc > res.BestValAcc
+		if improved {
 			res.BestValAcc = valAcc
 			res.BestEpoch = epoch + 1
 			sinceBest = 0
 			bestSnapshot = m.Set.Snapshot()
-			bestBNState = captureBNState(m.Net)
+			bestBNState = nn.CaptureBNState(m.Net)
 		} else {
 			sinceBest++
-			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
-				break
+		}
+		if mgr != nil {
+			every := cfg.Checkpoint.Every
+			if every < 1 {
+				every = 1
 			}
+			if (epoch+1-startEpoch)%every == 0 || epoch+1 == cfg.Epochs {
+				ts := captureTrainState(epoch+1, step, lrScale, retries, sinceBest,
+					res, bestSnapshot, bestBNState, m, batcher, sgd, db)
+				if _, err := mgr.Save(m, ts); err != nil {
+					return nil, fmt.Errorf("saving checkpoint after epoch %d: %w", epoch+1, err)
+				}
+			}
+		}
+		if !improved && cfg.Patience > 0 && sinceBest >= cfg.Patience {
+			break
 		}
 	}
 
 	// Restore the best weights so the returned model matches BestValAcc.
 	if res.BestEpoch > 0 {
 		m.Set.Restore(bestSnapshot)
-		restoreBNState(m.Net, bestBNState)
+		nn.RestoreBNState(m.Net, bestBNState)
 	}
 	res.BestValErr = 1 - res.BestValAcc
 	if res.Diverged && res.BestValAcc == 0 {
 		res.BestValErr = 0.9 // the paper reports diverged runs as "90%"
 	}
+	res.LRScale = lrScale
 
 	res.DiffusionSteps, res.DiffusionDist = diff.Series()
 	switch {
@@ -385,7 +612,167 @@ epochs:
 	case dsd != nil:
 		res.Compression = dsd.CompressionRatio()
 	}
-	return res
+	return res, nil
+}
+
+// applyResume restores the loop state a TrainState captures into the
+// freshly constructed training objects. The weights and batch-norm
+// statistics were already applied when the checkpoint was loaded.
+func applyResume(ts *checkpoint.TrainState, m *Model, batcher *data.Batcher, sgd *optim.SGD, db *core.DropBack, res *Result) error {
+	if ts.Epoch < 0 || ts.Step < 0 {
+		return fmt.Errorf("resume state has negative counters (epoch %d, step %d)", ts.Epoch, ts.Step)
+	}
+	if len(ts.Batcher.Perm) > 0 {
+		if err := batcher.Restore(ts.Batcher); err != nil {
+			return err
+		}
+	}
+	if ts.BestEpoch > 0 && ts.BestParams != nil && len(ts.BestParams) != m.Set.Total() {
+		return fmt.Errorf("resume state's best snapshot has %d weights, model has %d", len(ts.BestParams), m.Set.Total())
+	}
+	res.BestValAcc = ts.BestValAcc
+	res.BestEpoch = ts.BestEpoch
+	for _, h := range ts.History {
+		res.History = append(res.History, EpochStats{
+			Epoch: h.Epoch, LR: h.LR,
+			TrainLoss: h.TrainLoss, TrainAcc: h.TrainAcc,
+			ValLoss: h.ValLoss, ValAcc: h.ValAcc,
+		})
+	}
+	nn.RestoreLayerRNG(m.Net, ts.LayerRNG)
+	if ts.OptName != "" && ts.OptName != "sgd" {
+		return fmt.Errorf("resume state was captured with optimizer %q, trainer runs plain SGD", ts.OptName)
+	}
+	if err := sgd.RestoreState(m.Set, ts.Opt); err != nil {
+		return err
+	}
+	if ts.DropBack != nil {
+		if db == nil {
+			return fmt.Errorf("resume state carries DropBack state but the method is %v", res.Method)
+		}
+		if err := db.RestoreState(*ts.DropBack); err != nil {
+			return err
+		}
+	} else if db != nil && ts.Step > 0 {
+		return fmt.Errorf("resume state carries no DropBack state but the method is DropBack")
+	}
+	return nil
+}
+
+// captureTrainState assembles the resumable TrainState at an epoch
+// boundary: epochsDone epochs and step optimizer steps are complete.
+func captureTrainState(epochsDone, step int, lrScale float32, retries, sinceBest int,
+	res *Result, bestSnapshot []float32, bestBNState [][]float32,
+	m *Model, batcher *data.Batcher, sgd *optim.SGD, db *core.DropBack) *checkpoint.TrainState {
+	ts := &checkpoint.TrainState{
+		Epoch:      epochsDone,
+		Step:       step,
+		LRScale:    lrScale,
+		Retries:    retries,
+		BestEpoch:  res.BestEpoch,
+		BestValAcc: res.BestValAcc,
+		SinceBest:  sinceBest,
+		Batcher:    batcher.State(),
+		OptName:    "sgd",
+		Opt:        sgd.CaptureState(m.Set),
+		LayerRNG:   nn.CaptureLayerRNG(m.Net),
+	}
+	if res.BestEpoch > 0 {
+		ts.BestParams = append([]float32(nil), bestSnapshot...)
+		ts.BestBN = make([][]float32, len(bestBNState))
+		for i, s := range bestBNState {
+			ts.BestBN[i] = append([]float32(nil), s...)
+		}
+	}
+	for _, h := range res.History {
+		ts.History = append(ts.History, checkpoint.EpochRecord{
+			Epoch: h.Epoch, LR: h.LR,
+			TrainLoss: h.TrainLoss, TrainAcc: h.TrainAcc,
+			ValLoss: h.ValLoss, ValAcc: h.ValAcc,
+		})
+	}
+	if db != nil {
+		st := db.State()
+		ts.DropBack = &st
+	}
+	return ts
+}
+
+// recoverySnap is the in-memory rollback point divergence recovery restores
+// to: weights, batch-norm statistics, stochastic-layer RNG positions, the
+// batcher's position, DropBack state, and the epoch's running counters.
+type recoverySnap struct {
+	params   []float32
+	bn       [][]float32
+	layerRNG map[string]uint64
+	batch    data.BatcherState
+	db       *core.State
+	step     int
+	nextB    int
+	lossSum  float64
+	accSum   float64
+	examples int
+}
+
+func captureRecoverySnap(m *Model, batcher *data.Batcher, db *core.DropBack,
+	step, nextB int, lossSum, accSum float64, examples int) *recoverySnap {
+	s := &recoverySnap{
+		params:   m.Set.Snapshot(),
+		bn:       nn.CaptureBNState(m.Net),
+		layerRNG: nn.CaptureLayerRNG(m.Net),
+		batch:    batcher.State(),
+		step:     step,
+		nextB:    nextB,
+		lossSum:  lossSum,
+		accSum:   accSum,
+		examples: examples,
+	}
+	if db != nil {
+		st := db.State()
+		s.db = &st
+	}
+	return s
+}
+
+func restoreRecoverySnap(m *Model, batcher *data.Batcher, db *core.DropBack, s *recoverySnap) {
+	m.Set.Restore(s.params)
+	nn.RestoreBNState(m.Net, s.bn)
+	nn.RestoreLayerRNG(m.Net, s.layerRNG)
+	// Same dataset, same length: Restore cannot fail here.
+	if err := batcher.Restore(s.batch); err != nil {
+		panic("dropback: " + err.Error())
+	}
+	if db != nil && s.db != nil {
+		if err := db.RestoreState(*s.db); err != nil {
+			panic("dropback: " + err.Error())
+		}
+	}
+}
+
+// gradsFinite reports whether every gradient is finite. The v-v trick
+// classifies NaN and ±Inf in one branch-free compare per scalar (NaN−NaN
+// and Inf−Inf are both NaN, which compares unequal to zero).
+func gradsFinite(set *nn.ParamSet) bool {
+	for _, p := range set.Params() {
+		for _, v := range p.Grad.Data {
+			if v-v != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// paramsFinite reports whether every parameter value is finite.
+func paramsFinite(set *nn.ParamSet) bool {
+	for _, p := range set.Params() {
+		for _, v := range p.Value.Data {
+			if v-v != 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // maybeSnapshot appends a weight snapshot to the result, respecting the
@@ -414,38 +801,6 @@ func filteredSnapshot(set *nn.ParamSet, filter func(string) bool) []float32 {
 		}
 	}
 	return out
-}
-
-// captureBNState copies every BatchNorm's running statistics, which live
-// outside the parameter set but matter for evaluation.
-func captureBNState(root nn.Layer) [][]float32 {
-	var out [][]float32
-	nn.Walk(root, func(l nn.Layer) {
-		if bn, ok := l.(*nn.BatchNorm); ok {
-			s := make([]float32, 0, 2*bn.C)
-			s = append(s, bn.RunningMean...)
-			s = append(s, bn.RunningVar...)
-			out = append(out, s)
-		}
-	})
-	return out
-}
-
-// restoreBNState writes back statistics captured by captureBNState.
-func restoreBNState(root nn.Layer, state [][]float32) {
-	if state == nil {
-		return
-	}
-	i := 0
-	nn.Walk(root, func(l nn.Layer) {
-		if bn, ok := l.(*nn.BatchNorm); ok {
-			if i < len(state) {
-				copy(bn.RunningMean, state[i][:bn.C])
-				copy(bn.RunningVar, state[i][bn.C:])
-			}
-			i++
-		}
-	})
 }
 
 // Confusion is a square confusion matrix with per-class statistics.
