@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-telemetry clean
+.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-telemetry serve-smoke clean
 
-check: build fmt-check vet test fuzz race bench bench-guard
+check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve serve-smoke
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
 
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/core ./internal/checkpoint .
+	$(GO) test -race ./internal/tensor ./internal/nn ./internal/core ./internal/checkpoint ./internal/serve .
 
 # One iteration per benchmark: a smoke test that every benchmark still runs.
 bench:
@@ -44,6 +44,18 @@ bench-guard:
 		-benchmem -benchtime 10x -run '^$$' . > bench_guard.out
 	$(GO) run ./cmd/benchguard -baseline BENCH_kernels.json -input bench_guard.out
 
+# Serving-path allocation gate: BenchmarkServePredict (queue -> batcher ->
+# replica pool) must stay under the allocs/op ceiling in BENCH_serve.json.
+bench-guard-serve:
+	$(GO) test -bench BenchmarkServePredict -benchmem -benchtime 50x \
+		-run '^$$' ./internal/serve > bench_serve.out
+	$(GO) run ./cmd/benchguard -baseline BENCH_serve.json -input bench_serve.out
+
+# End-to-end serving smoke: train -> export artifact -> dropback-serve ->
+# HTTP predict round trip -> graceful SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # The CI telemetry export: a short DropBack run that emits the JSONL stream
 # and the BENCH_telemetry.json benchmark-trajectory artifact.
 bench-telemetry:
@@ -53,4 +65,4 @@ bench-telemetry:
 		-bench-out BENCH_telemetry.json
 
 clean:
-	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out cpu.pprof heap.pprof
+	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out cpu.pprof heap.pprof

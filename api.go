@@ -9,6 +9,13 @@
 // distributions, tracked-set swap counts, L2 diffusion, weight-trajectory
 // snapshots, per-layer retention).
 //
+// The deployment side lives in deploy.go: sparse artifacts
+// (CompressSparse/SaveSparse/LoadSparse), 1-8-bit quantization
+// (QuantizeSparse), checkpoints, and batched inference serving
+// (NewServer/NewServeHandler) over a pool of artifact-seeded model
+// replicas — one replica per concurrent forward pass, because a Model is
+// single-goroutine-only.
+//
 // Quickstart:
 //
 //	ds := dropback.MNISTLike(2000, 1)

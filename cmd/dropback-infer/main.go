@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,17 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds every error path as a return instead of os.Exit, so the
+// deferred cleanups (pprof profile stop, telemetry file close) always fire
+// — an os.Exit on an error path used to leave truncated or empty profile
+// and telemetry files behind.
+func run() error {
 	var (
 		artifact = flag.String("artifact", "", "path to a .dbsp sparse artifact (required)")
 		model    = flag.String("model", "mnist100", "mnist100 | lenet300 | vggs-reduced | wrn-reduced | densenet-reduced")
@@ -36,15 +48,13 @@ func main() {
 	)
 	flag.Parse()
 	if *artifact == "" {
-		fmt.Fprintln(os.Stderr, "missing -artifact")
-		os.Exit(1)
+		return errors.New("missing -artifact")
 	}
 
 	if *cpuProf != "" {
 		stop, err := telemetry.StartCPUProfile(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer func() {
 			if err := stop(); err != nil {
@@ -55,17 +65,14 @@ func main() {
 
 	art, err := dropback.LoadSparse(*artifact)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	m, imageModel, err := buildModel(*model, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if err := art.Apply(m); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("artifact: %d of %d weights stored (%.1fx compression), %d bytes\n",
 		art.StoredWeights(), art.TotalParams, art.CompressionRatio(), art.StorageBytes())
@@ -77,9 +84,9 @@ func main() {
 		if *telJSONL != "" {
 			f, err := os.Create(*telJSONL)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
+			defer f.Close()
 			telFile = f
 			opts.Sink = f
 		}
@@ -107,13 +114,11 @@ func main() {
 	if collector != nil {
 		nn.Instrument(m.Net, nil)
 		if err := collector.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if telFile != nil {
 			if err := telFile.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Printf("telemetry stream written to %s\n", *telJSONL)
 		}
@@ -123,10 +128,10 @@ func main() {
 	}
 	if *memProf != "" {
 		if err := telemetry.WriteHeapProfile(*memProf); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 // buildModel mirrors cmd/dropback's model registry.

@@ -1,0 +1,185 @@
+// Command dropback-serve turns a sparse deployment artifact into an HTTP
+// prediction service. It loads the artifact once, builds a pool of model
+// replicas by regenerating every untracked weight from the seed (cheap by
+// design — that is the paper's deployment story), and serves concurrent
+// requests through a dynamic micro-batcher with bounded-queue backpressure.
+//
+// Usage:
+//
+//	dropback-serve -artifact model.dbsp -model mnist100 -seed 1 -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/predict  {"input": [...]} -> {"class", "probs", "batch_size"}
+//	GET  /healthz     liveness
+//	GET  /readyz      readiness (503 while draining)
+//	GET  /statsz      serving counters as JSON
+//
+// SIGINT/SIGTERM triggers a graceful drain: in-flight and queued requests
+// are answered, new ones get 503, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dropback"
+	"dropback/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole server lifecycle so deferred cleanup (telemetry
+// flush, listener close) always fires; main wraps it with the only os.Exit.
+func run() error {
+	var (
+		artifact  = flag.String("artifact", "", "path to a .dbsp sparse artifact (required)")
+		model     = flag.String("model", "mnist100", "mnist100 | lenet300 | vggs-reduced | wrn-reduced | densenet-reduced")
+		seed      = flag.Uint64("seed", 1, "model seed used at training time")
+		quantBits = flag.Int("quant-bits", 0, "serve b-bit quantized weights (1..8, 0 = full float artifact)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		replicas  = flag.Int("replicas", 4, "model replica pool size (max concurrent forward passes)")
+		maxBatch  = flag.Int("max-batch", 8, "max requests coalesced into one forward pass")
+		maxWait   = flag.Duration("max-wait", time.Millisecond, "max time the batcher waits to fill a batch")
+		queue     = flag.Int("queue", 0, "request queue bound; overflow gets 429 (0 = 16x max-batch)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request end-to-end timeout (0 = none)")
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget on SIGTERM")
+		telJSONL  = flag.String("telemetry", "", "write a JSONL stream of serve counters/latency samples to this path")
+		telTable  = flag.Bool("telemetry-summary", false, "print the telemetry summary table on shutdown")
+	)
+	flag.Parse()
+	if *artifact == "" {
+		return errors.New("missing -artifact")
+	}
+
+	art, err := dropback.LoadSparse(*artifact)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("artifact: %d of %d weights stored (%.1fx compression), %d bytes\n",
+		art.StoredWeights(), art.TotalParams, art.CompressionRatio(), art.StorageBytes())
+	if *quantBits != 0 {
+		qa, err := dropback.QuantizeSparse(art, *quantBits)
+		if err != nil {
+			return fmt.Errorf("-quant-bits: %w", err)
+		}
+		art = qa.Decompress()
+		fmt.Printf("serving %d-bit quantized weights (%d bytes)\n", *quantBits, qa.StorageBytes())
+	}
+
+	build, inputShape, err := modelFactory(*model, *seed)
+	if err != nil {
+		return err
+	}
+
+	var collector *telemetry.Collector
+	var telFile *os.File
+	if *telJSONL != "" || *telTable {
+		opts := telemetry.CollectorOptions{Label: *model + "/serve"}
+		if *telJSONL != "" {
+			f, err := os.Create(*telJSONL)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			telFile = f
+			opts.Sink = f
+		}
+		collector = telemetry.NewCollector(opts)
+	}
+
+	srv, err := dropback.NewServer(dropback.ServeConfig{
+		NewReplica: func() (*dropback.Model, error) {
+			m := build()
+			return m, art.Apply(m)
+		},
+		InputShape: inputShape,
+		Replicas:   *replicas,
+		MaxBatch:   *maxBatch,
+		MaxWait:    *maxWait,
+		QueueDepth: *queue,
+		Telemetry:  collector,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pool: %d replicas of %s (seed %d), max batch %d, max wait %v, queue %d\n",
+		srv.Replicas(), *model, *seed, *maxBatch, *maxWait, srv.Stats().QueueCap)
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: dropback.NewServeHandler(srv, dropback.ServeHandlerConfig{RequestTimeout: *timeout}),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Printf("listening on %s\n", *addr)
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("shutdown signal received, draining")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop accepting connections and wait for in-flight handlers, then
+	// drain the batcher (queued requests are answered, not dropped).
+	shutdownErr := httpSrv.Shutdown(shCtx)
+	srv.Close()
+
+	st := srv.Stats()
+	fmt.Printf("served %d requests in %d batches (mean batch %.2f), %d rejected, %d expired, latency p50 %v p95 %v\n",
+		st.Requests, st.Batches, st.MeanBatchSize, st.Rejected, st.Expired,
+		st.LatencyP50.Round(time.Microsecond), st.LatencyP95.Round(time.Microsecond))
+	if collector != nil {
+		if err := collector.Flush(); err != nil {
+			return err
+		}
+		if telFile != nil {
+			if err := telFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("telemetry stream written to %s\n", *telJSONL)
+		}
+		if *telTable {
+			collector.WriteSummary(os.Stdout)
+		}
+	}
+	return shutdownErr
+}
+
+// modelFactory mirrors cmd/dropback's registry and reports the per-sample
+// input shape the server should batch over.
+func modelFactory(name string, seed uint64) (func() *dropback.Model, []int, error) {
+	switch name {
+	case "mnist100":
+		return func() *dropback.Model { return dropback.MNIST100100(seed) }, []int{784}, nil
+	case "lenet300":
+		return func() *dropback.Model { return dropback.LeNet300100(seed) }, []int{784}, nil
+	case "vggs-reduced":
+		return func() *dropback.Model { return dropback.VGGSReduced(12, 8, seed, false) }, []int{3, 12, 12}, nil
+	case "wrn-reduced":
+		return func() *dropback.Model { return dropback.WRNReduced(10, 2, seed, false) }, []int{3, 12, 12}, nil
+	case "densenet-reduced":
+		return func() *dropback.Model { return dropback.DenseNetReduced(13, 6, seed, false) }, []int{3, 12, 12}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown model %q", name)
+	}
+}

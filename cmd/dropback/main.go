@@ -26,6 +26,16 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run returns on every error path instead of calling os.Exit, so deferred
+// cleanup (the pprof CPU-profile stop) always runs; main owns the only
+// os.Exit.
+func run() error {
 	var (
 		model    = flag.String("model", "mnist100", "mnist100 | lenet300 | vggs-reduced | wrn-reduced | densenet-reduced")
 		method   = flag.String("method", "dropback", "baseline | dropback | magnitude | variational | slimming")
@@ -61,8 +71,7 @@ func main() {
 	if *cpuProf != "" {
 		stop, err := telemetry.StartCPUProfile(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		defer func() {
 			if err := stop(); err != nil {
@@ -74,22 +83,19 @@ func main() {
 	variational := *method == "variational"
 	m, imageModel, err := buildModel(*model, *seed, variational)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 
 	if *loadCkpt != "" {
 		if err := dropback.LoadCheckpoint(*loadCkpt, m); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("resumed from checkpoint %s\n", *loadCkpt)
 	}
 
 	ds, err := buildDataset(*model, imageModel, *samples, *seed, *images, *labels)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	train, val := ds.Split(ds.Len() * 4 / 5)
 
@@ -99,8 +105,7 @@ func main() {
 		MaxRecoveryRetries: *retries,
 	}
 	if *resume && *ckptDir == "" {
-		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint-dir")
-		os.Exit(1)
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 	if *ckptDir != "" {
 		cfg.Checkpoint = &dropback.CheckpointSpec{
@@ -132,8 +137,7 @@ func main() {
 		cfg.SlimPruneFraction = *pruneF
 		cfg.SlimPruneAtEpoch = *epochs / 2
 	default:
-		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
-		os.Exit(1)
+		return fmt.Errorf("unknown method %q", *method)
 	}
 
 	var collector *telemetry.Collector
@@ -143,9 +147,9 @@ func main() {
 		if *telJSONL != "" {
 			f, err := os.Create(*telJSONL)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
+			defer f.Close()
 			telFile = f
 			opts.Sink = f
 		}
@@ -157,8 +161,7 @@ func main() {
 		*model, m.Set.Total(), cfg.Method, train.Len(), val.Len())
 	res, err := dropback.TrainE(m, train, val, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if res.Rollbacks > 0 {
 		fmt.Printf("divergence recovery: %d rollback(s), final LR scale %.4g\n", res.Rollbacks, res.LRScale)
@@ -177,29 +180,25 @@ func main() {
 	}
 	if *saveCkpt != "" {
 		if err := dropback.SaveCheckpoint(*saveCkpt, m); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("checkpoint written to %s\n", *saveCkpt)
 	}
 	if *exportSp != "" {
 		art := dropback.CompressSparse(m)
 		if err := dropback.SaveSparse(*exportSp, art); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("sparse artifact written to %s: %d weights, %d bytes (dense %d bytes)\n",
 			*exportSp, art.StoredWeights(), art.StorageBytes(), art.DenseStorageBytes())
 	}
 	if collector != nil {
 		if err := collector.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if telFile != nil {
 			if err := telFile.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Printf("telemetry stream written to %s\n", *telJSONL)
 		}
@@ -209,18 +208,17 @@ func main() {
 		if *benchOut != "" {
 			prefix := *model + "/"
 			if err := telemetry.WriteBench(*benchOut, collector.BenchEntries(prefix)); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Printf("benchmark entries written to %s\n", *benchOut)
 		}
 	}
 	if *memProf != "" {
 		if err := telemetry.WriteHeapProfile(*memProf); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }
 
 // buildModel constructs the requested model; imageModel reports whether it

@@ -24,8 +24,18 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run returns errors instead of exiting, so the deferred pprof stop and
+// telemetry file close always run; the old fatal() helper called os.Exit
+// from inside the function, skipping every defer and truncating profiles.
+func run() error {
 	var (
-		run      = flag.String("run", "all", "experiment id to run (or \"all\")")
+		runID    = flag.String("run", "all", "experiment id to run (or \"all\")")
 		quick    = flag.Bool("quick", false, "benchmark-sized datasets and epoch counts")
 		seed     = flag.Uint64("seed", 42, "global random seed")
 		verbose  = flag.Bool("v", false, "echo per-epoch training progress")
@@ -45,13 +55,13 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-10s %-10s %s\n", e.ID, e.Paper, e.Description)
 		}
-		return
+		return nil
 	}
 
 	if *cpuProf != "" {
 		stop, err := telemetry.StartCPUProfile(*cpuProf)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer func() {
 			if err := stop(); err != nil {
@@ -71,12 +81,13 @@ func main() {
 	var collector *telemetry.Collector
 	var telFile *os.File
 	if *telJSONL != "" || *telTable || *benchOut != "" {
-		opts := telemetry.CollectorOptions{StepEvery: *telEvery, Label: "experiments/" + *run}
+		opts := telemetry.CollectorOptions{StepEvery: *telEvery, Label: "experiments/" + *runID}
 		if *telJSONL != "" {
 			f, err := os.Create(*telJSONL)
 			if err != nil {
-				fatal(err)
+				return err
 			}
+			defer f.Close()
 			telFile = f
 			opts.Sink = f
 		}
@@ -84,17 +95,17 @@ func main() {
 		opt.Telemetry = collector
 	}
 
-	if err := experiments.RunByID(*run, opt); err != nil {
-		fatal(err)
+	if err := experiments.RunByID(*runID, opt); err != nil {
+		return err
 	}
 
 	if collector != nil {
 		if err := collector.Flush(); err != nil {
-			fatal(err)
+			return err
 		}
 		if telFile != nil {
 			if err := telFile.Close(); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("telemetry stream written to %s\n", *telJSONL)
 		}
@@ -102,20 +113,16 @@ func main() {
 			collector.WriteSummary(os.Stdout)
 		}
 		if *benchOut != "" {
-			if err := telemetry.WriteBench(*benchOut, collector.BenchEntries(*run+"/")); err != nil {
-				fatal(err)
+			if err := telemetry.WriteBench(*benchOut, collector.BenchEntries(*runID+"/")); err != nil {
+				return err
 			}
 			fmt.Printf("benchmark entries written to %s\n", *benchOut)
 		}
 	}
 	if *memProf != "" {
 		if err := telemetry.WriteHeapProfile(*memProf); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return nil
 }

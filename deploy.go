@@ -1,8 +1,11 @@
 package dropback
 
 import (
+	"net/http"
+
 	"dropback/internal/checkpoint"
 	"dropback/internal/quant"
+	"dropback/internal/serve"
 	"dropback/internal/sparse"
 )
 
@@ -24,11 +27,16 @@ type QuantizedArtifact = quant.Artifact
 // weights.
 func CompressSparse(m *Model) *SparseArtifact { return sparse.Compress(m) }
 
-// QuantizeSparse further compresses a sparse artifact to b-bit weight codes
-// (1..8).
-func QuantizeSparse(a *SparseArtifact, bits int) *QuantizedArtifact {
+// QuantizeSparse further compresses a sparse artifact to b-bit weight codes.
+// bits outside 1..8 is a caller error reported as an error value (not a
+// panic), so flag values can flow here unvalidated.
+func QuantizeSparse(a *SparseArtifact, bits int) (*QuantizedArtifact, error) {
 	return quant.Compress(a, bits)
 }
+
+// ValidateQuantBits reports whether bits is a legal quantization width
+// (1..8); use it to validate flag or request values before quantizing.
+func ValidateQuantBits(bits int) error { return quant.ValidateBits(bits) }
 
 // SaveSparse writes a sparse artifact to a file.
 func SaveSparse(path string, a *SparseArtifact) error { return sparse.Save(path, a) }
@@ -67,4 +75,47 @@ func SaveTrainCheckpoint(path string, m *Model, ts *TrainState) error {
 // files). Feed the state to TrainConfig.ResumeFrom to continue the run.
 func LoadTrainCheckpoint(path string, m *Model) (*TrainState, error) {
 	return checkpoint.LoadTrain(path, m)
+}
+
+// ServeConfig configures an inference Server: the replica constructor, the
+// per-sample input shape, pool size, micro-batching limits, queue bound,
+// and an optional telemetry recorder.
+type ServeConfig = serve.Config
+
+// Server serves predictions from a pool of model replicas through a
+// dynamic micro-batcher: concurrent Predict calls are coalesced into one
+// forward pass (up to MaxBatch requests or MaxWait of waiting) and fanned
+// through a free replica. The bounded queue rejects overflow with
+// ErrServerOverloaded, and Close drains gracefully. See internal/serve for
+// the full design.
+type Server = serve.Server
+
+// ServerStats is a snapshot of a Server's counters: request/reject/expire
+// totals, batch-size distribution, and end-to-end latency quantiles.
+type ServerStats = serve.Stats
+
+// Prediction is one served inference result.
+type Prediction = serve.Prediction
+
+// ServeHandlerConfig configures the HTTP front end of a Server.
+type ServeHandlerConfig = serve.HandlerConfig
+
+// Serving errors, mapped to HTTP 429/503 by the serve handler.
+var (
+	// ErrServerOverloaded reports a full request queue (backpressure).
+	ErrServerOverloaded = serve.ErrOverloaded
+	// ErrServerDraining reports a server shutting down.
+	ErrServerDraining = serve.ErrDraining
+)
+
+// NewServer builds the replica pool (calling cfg.NewReplica once per
+// replica — cheap for artifact-seeded models, which is the paper's
+// deployment point) and starts the micro-batcher.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewServeHandler exposes a Server over HTTP: POST /v1/predict plus
+// healthz/readyz/statsz endpoints. See serve.NewHandler for the error
+// mapping.
+func NewServeHandler(s *Server, hc ServeHandlerConfig) http.Handler {
+	return serve.NewHandler(s, hc)
 }

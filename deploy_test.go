@@ -35,7 +35,15 @@ func TestDeployPipelineFacade(t *testing.T) {
 		t.Fatalf("sparse round trip changed accuracy: %v vs %v", a1, a2)
 	}
 
-	qa := QuantizeSparse(art, 8)
+	qa, err := QuantizeSparse(art, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{0, 9, -3} {
+		if _, err := QuantizeSparse(art, bad); err == nil {
+			t.Fatalf("QuantizeSparse accepted illegal bit width %d", bad)
+		}
+	}
 	q := smallMLP(31)
 	if err := qa.Decompress().Apply(q); err != nil {
 		t.Fatal(err)

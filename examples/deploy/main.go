@@ -58,7 +58,10 @@ func main() {
 		accServer, accDevice, accServer == accDevice)
 
 	// --- optional: 8-bit quantization on top ------------------------------
-	qa := dropback.QuantizeSparse(art, 8)
+	qa, err := dropback.QuantizeSparse(art, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
 	q := dropback.MNIST100100(9)
 	if err := qa.Decompress().Apply(q); err != nil {
 		log.Fatal(err)

@@ -207,7 +207,10 @@ func RunArtifact(o Options) ArtifactResult {
 	}
 	_, accSparse := dropback.Evaluate(fresh, val, o.batchSize())
 
-	qa := quant.Compress(art, 8)
+	qa, err := quant.Compress(art, 8)
+	if err != nil {
+		panic(err) // 8 is a constant legal width
+	}
 	fresh2 := dropback.MNIST100100(o.Seed)
 	if err := qa.Decompress().Apply(fresh2); err != nil {
 		panic(err)

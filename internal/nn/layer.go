@@ -13,6 +13,14 @@ import (
 // accumulating parameter gradients into each Param's Grad buffer.
 //
 // Layers are single-use per step: Forward then Backward, in that order.
+//
+// Concurrency contract: a layer is single-goroutine-only, in inference as
+// well as training. Layers own mutable workspaces (reused output and
+// scratch buffers, argmax records, dropout masks) that every Forward call
+// overwrites, and several return workspace-backed tensors that are only
+// valid until the next call. Concurrent inference therefore requires one
+// model replica per concurrent forward pass (see internal/serve.Pool);
+// never share a layer tree between goroutines.
 type Layer interface {
 	// Name returns the layer's unique name within its model.
 	Name() string

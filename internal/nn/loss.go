@@ -29,6 +29,15 @@ func (l *SoftmaxCrossEntropy) Backward() *tensor.Tensor {
 
 // Model bundles a network body with its loss and parameter set — the unit
 // the optimizers and pruners operate on.
+//
+// Concurrency contract: a Model is single-goroutine-only. Step, Eval, and
+// any direct Net.Forward/Backward call mutate per-layer state (workspace
+// buffers, im2col scratch, pooling argmax records, cached activations), so
+// two goroutines sharing one Model race even for pure inference. Concurrent
+// serving must replicate the model — one replica per in-flight forward pass
+// — which the sparse-artifact deployment path makes cheap: every replica is
+// regenerated from the seed plus the tracked weights (see internal/serve's
+// replica pool, proven race-free under `go test -race`).
 type Model struct {
 	// Net is the network body mapping inputs to logits.
 	Net Layer

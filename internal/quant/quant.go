@@ -26,11 +26,23 @@ type Tensor struct {
 	Codes []uint8
 }
 
-// Quantize builds a b-bit uniform affine quantization of vals covering
-// [min(vals), max(vals)].
-func Quantize(vals []float32, bits int) Tensor {
+// ValidateBits reports whether bits is a legal code width. User-supplied
+// widths (CLI flags, request fields) must pass through this — or through
+// Compress, which calls it — so that a bad value surfaces as an error at
+// the boundary instead of a panic from library code.
+func ValidateBits(bits int) error {
 	if bits < 1 || bits > 8 {
-		panic(fmt.Sprintf("quant: bits must be 1..8, got %d", bits))
+		return fmt.Errorf("quant: bits must be 1..8, got %d", bits)
+	}
+	return nil
+}
+
+// Quantize builds a b-bit uniform affine quantization of vals covering
+// [min(vals), max(vals)]. bits must already be validated (ValidateBits);
+// an out-of-range width here is a programmer error and panics.
+func Quantize(vals []float32, bits int) Tensor {
+	if err := ValidateBits(bits); err != nil {
+		panic(err.Error())
 	}
 	q := Tensor{Bits: bits, Codes: make([]uint8, len(vals))}
 	if len(vals) == 0 {
@@ -106,8 +118,12 @@ type Artifact struct {
 }
 
 // Compress quantizes a sparse artifact's stored values to the given bit
-// width.
-func Compress(a *sparse.Artifact, bits int) *Artifact {
+// width. An out-of-range width is reported as an error, so unvalidated
+// user input can flow here directly.
+func Compress(a *sparse.Artifact, bits int) (*Artifact, error) {
+	if err := ValidateBits(bits); err != nil {
+		return nil, err
+	}
 	vals := make([]float32, len(a.Entries))
 	idx := make([]uint32, len(a.Entries))
 	for i, e := range a.Entries {
@@ -120,7 +136,7 @@ func Compress(a *sparse.Artifact, bits int) *Artifact {
 		Indices:     idx,
 		Values:      Quantize(vals, bits),
 		BNs:         a.BNs,
-	}
+	}, nil
 }
 
 // Decompress reconstructs a (lossy) sparse artifact.

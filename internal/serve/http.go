@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxPredictBody bounds a predict request body. The largest supported input
+// (a batch-1 image) is a few hundred KB of JSON; 8 MB leaves headroom
+// without letting a client exhaust memory.
+const maxPredictBody = 8 << 20
+
+// HandlerConfig configures the HTTP front end.
+type HandlerConfig struct {
+	// RequestTimeout bounds one predict request end to end (queue wait +
+	// inference). 0 means no server-imposed timeout. Expired requests get
+	// HTTP 504.
+	RequestTimeout time.Duration
+}
+
+// PredictRequest is the /v1/predict request body.
+type PredictRequest struct {
+	// Input is the flattened input vector; its length must equal the
+	// product of the model's input shape.
+	Input []float32 `json:"input"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes a Server over HTTP:
+//
+//	POST /v1/predict  {"input": [...]} -> {"class", "probs", "batch_size"}
+//	GET  /healthz     liveness  (200 while the process runs)
+//	GET  /readyz      readiness (200 accepting traffic, 503 draining)
+//	GET  /statsz      Stats snapshot as JSON
+//
+// Error mapping: bad input 400, queue overflow 429 (with Retry-After),
+// draining 503, request timeout 504, inference failure 500.
+func NewHandler(s *Server, hc HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxPredictBody)
+		var req PredictRequest
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", err)})
+			return
+		}
+		ctx := r.Context()
+		if hc.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, hc.RequestTimeout)
+			defer cancel()
+		}
+		pred, err := s.Predict(ctx, req.Input)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, pred)
+		case errors.Is(err, ErrBadInput):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request timed out"})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

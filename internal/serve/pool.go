@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+
+	"dropback/internal/nn"
+)
+
+// Pool is a fixed set of interchangeable model replicas. It exists because a
+// *nn.Model is single-goroutine-only (layers own mutable workspaces that
+// every Forward overwrites — see the nn.Layer contract): a replica checked
+// out of the pool is exclusively owned until released, so any number of
+// goroutines can run inference concurrently as long as each uses its own
+// checked-out replica.
+//
+// Replicas are built by a constructor rather than copied from a prototype:
+// the sparse-artifact deployment path makes construction cheap (regenerate
+// from the seed, overlay the tracked weights), and independent construction
+// guarantees no hidden state is shared between replicas.
+type Pool struct {
+	replicas chan *nn.Model
+	size     int
+}
+
+// NewPool builds n replicas with build and returns the pool. Every replica
+// must come out bit-identical (same constructor, same seed, same artifact)
+// so that which replica serves a request can never change the answer.
+func NewPool(n int, build func() (*nn.Model, error)) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: pool size must be positive, got %d", n)
+	}
+	p := &Pool{replicas: make(chan *nn.Model, n), size: n}
+	for i := 0; i < n; i++ {
+		m, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("serve: building replica %d of %d: %w", i+1, n, err)
+		}
+		if m == nil {
+			return nil, fmt.Errorf("serve: replica constructor returned nil model")
+		}
+		p.replicas <- m
+	}
+	return p, nil
+}
+
+// Acquire checks a replica out of the pool, blocking until one is free. The
+// caller owns it exclusively until Release.
+func (p *Pool) Acquire() *nn.Model { return <-p.replicas }
+
+// Release returns a replica to the pool.
+func (p *Pool) Release(m *nn.Model) { p.replicas <- m }
+
+// Size returns the number of replicas.
+func (p *Pool) Size() int { return p.size }
+
+// Free returns how many replicas are currently idle (observability only;
+// the value is stale as soon as it is read).
+func (p *Pool) Free() int { return len(p.replicas) }

@@ -1,0 +1,490 @@
+// Package serve is the inference serving subsystem: it turns a trained
+// model (typically reconstructed from a sparse deployment artifact) into a
+// concurrent prediction service.
+//
+// The design leans on the paper's deployment contract. A DropBack artifact
+// stores only the tracked weights plus the model seed; every untracked
+// weight is regenerated from (seed, tensor id, element index). Because
+// reconstruction is pure computation over a tiny file, instantiating one
+// more model replica costs a few milliseconds of xorshift regeneration and
+// no additional artifact I/O — so horizontal replication inside a process
+// is nearly free, and the replica pool is the natural unit of concurrency.
+//
+// It has to be, because a *nn.Model is NOT safe for concurrent Forward
+// calls: layers own mutable workspaces and caches (im2col buffers, argmax
+// records, dropout masks) that are overwritten on every pass. The pool
+// guarantees each replica runs at most one batch at a time; concurrency
+// comes from running different replicas in parallel.
+//
+// Request flow:
+//
+//	Predict -> bounded queue -> micro-batcher -> replica pool -> response
+//
+// The micro-batcher coalesces concurrent requests into one forward pass, up
+// to Config.MaxBatch requests or Config.MaxWait of waiting, whichever comes
+// first. The queue is bounded: when it is full, Predict fails fast with
+// ErrOverloaded (HTTP 429 at the API layer) instead of queueing unboundedly.
+// Close drains queued work, waits for in-flight batches, and then refuses
+// new requests with ErrDraining.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dropback/internal/nn"
+	"dropback/internal/telemetry"
+	"dropback/internal/tensor"
+)
+
+// Telemetry names the serving layer reports through a telemetry.Recorder.
+const (
+	// CounterRequests counts requests accepted into the queue.
+	CounterRequests = "serve/requests"
+	// CounterRejected counts requests rejected with ErrOverloaded.
+	CounterRejected = "serve/rejected"
+	// CounterExpired counts requests whose context ended before a result.
+	CounterExpired = "serve/expired"
+	// CounterBatches counts forward passes (one per coalesced batch).
+	CounterBatches = "serve/batches"
+	// CounterPanics counts recovered inference panics.
+	CounterPanics = "serve/panics"
+	// GaugeQueueDepth is the queue occupancy sampled at each enqueue.
+	GaugeQueueDepth = "serve/queue_depth"
+	// GaugeBatchSize is the size of the most recent batch.
+	GaugeBatchSize = "serve/batch_size"
+)
+
+// Sentinel errors the serving layer maps to HTTP statuses.
+var (
+	// ErrOverloaded reports a full request queue (backpressure; retry later).
+	ErrOverloaded = errors.New("serve: queue full, server overloaded")
+	// ErrDraining reports a server that is shutting down.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrBadInput reports a malformed or wrongly sized input vector.
+	ErrBadInput = errors.New("serve: bad input")
+)
+
+// Config configures a Server.
+type Config struct {
+	// NewReplica constructs one inference replica: a freshly built model
+	// with the deployment artifact applied. It is called Replicas times at
+	// startup; replicas must be built by the same constructor with the same
+	// seed so they are bit-identical.
+	NewReplica func() (*nn.Model, error)
+	// InputShape is the per-sample input shape, e.g. [784] for the MLPs or
+	// [3, 12, 12] for the reduced convolutional models. Batches are formed
+	// as [n, InputShape...].
+	InputShape []int
+	// Replicas is the model pool size (default 4). It bounds the number of
+	// concurrent forward passes.
+	Replicas int
+	// MaxBatch caps how many requests one forward pass serves (default 8).
+	MaxBatch int
+	// MaxWait caps how long the batcher holds the first request of a batch
+	// while waiting for more to coalesce (default 1ms). Negative disables
+	// waiting: a batch is whatever is already queued.
+	MaxWait time.Duration
+	// QueueDepth bounds the request queue (default 16×MaxBatch). A full
+	// queue rejects with ErrOverloaded.
+	QueueDepth int
+	// Telemetry optionally receives serve counters, gauges, and a per-request
+	// end-to-end latency sample stream (via Recorder.StepDone, which feeds
+	// the collector's latency quantiles). Nil disables recording.
+	Telemetry telemetry.Recorder
+}
+
+// withDefaults validates cfg and fills unset fields.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.NewReplica == nil {
+		return cfg, errors.New("serve: Config.NewReplica is required")
+	}
+	if len(cfg.InputShape) == 0 {
+		return cfg, errors.New("serve: Config.InputShape is required")
+	}
+	for _, d := range cfg.InputShape {
+		if d <= 0 {
+			return cfg, fmt.Errorf("serve: non-positive dimension in input shape %v", cfg.InputShape)
+		}
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 4
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxWait < 0 {
+		cfg.MaxWait = 0
+	} else if cfg.MaxWait == 0 {
+		cfg.MaxWait = time.Millisecond
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16 * cfg.MaxBatch
+	}
+	return cfg, nil
+}
+
+// Prediction is one request's result.
+type Prediction struct {
+	// Class is the argmax class index.
+	Class int `json:"class"`
+	// Probs is the softmax distribution over classes.
+	Probs []float32 `json:"probs"`
+	// BatchSize is the size of the coalesced batch that served the request
+	// (observability: how well micro-batching is working).
+	BatchSize int `json:"batch_size"`
+}
+
+// request is one in-flight prediction.
+type request struct {
+	ctx   context.Context
+	input []float32
+	enq   time.Time
+	// done is buffered (capacity 1) so batch workers never block on a caller
+	// that gave up.
+	done chan result
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+// Server owns the replica pool and the micro-batching pipeline.
+type Server struct {
+	cfg      Config
+	rec      telemetry.Recorder
+	pool     *Pool
+	inputLen int
+
+	queue chan *request
+	stop  chan struct{}
+	// batchDone closes when the batch loop has exited (queue drained).
+	batchDone chan struct{}
+	inflight  sync.WaitGroup
+
+	// mu serializes enqueue against drain: Close sets draining under the
+	// write lock, so no Predict can slip a request into the queue after the
+	// drain pass has started.
+	mu       sync.RWMutex
+	draining bool
+
+	requests atomic.Uint64
+	rejected atomic.Uint64
+	expired  atomic.Uint64
+	panics   atomic.Uint64
+
+	statsMu   sync.Mutex
+	latency   telemetry.Histogram
+	batches   uint64
+	batchSum  uint64
+	batchMax  int
+	batchDist []uint64 // batchDist[n-1] counts batches of size n
+}
+
+// New builds the replica pool and starts the micro-batcher.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pool, err := NewPool(cfg.Replicas, cfg.NewReplica)
+	if err != nil {
+		return nil, err
+	}
+	inputLen := 1
+	for _, d := range cfg.InputShape {
+		inputLen *= d
+	}
+	s := &Server{
+		cfg:       cfg,
+		rec:       telemetry.OrNop(cfg.Telemetry),
+		pool:      pool,
+		inputLen:  inputLen,
+		queue:     make(chan *request, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		batchDone: make(chan struct{}),
+		batchDist: make([]uint64, cfg.MaxBatch),
+	}
+	go s.batchLoop()
+	return s, nil
+}
+
+// InputLen returns the expected per-sample input length (product of
+// Config.InputShape).
+func (s *Server) InputLen() int { return s.inputLen }
+
+// Replicas returns the pool size.
+func (s *Server) Replicas() int { return s.pool.Size() }
+
+// Ready reports whether the server accepts new requests (true until Close).
+func (s *Server) Ready() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.draining
+}
+
+// Predict queues one input vector for batched inference and waits for its
+// result. It fails fast with ErrOverloaded when the queue is full and with
+// ErrDraining during shutdown; a context that ends first returns ctx.Err()
+// (the computation may still happen, but the result is discarded).
+func (s *Server) Predict(ctx context.Context, input []float32) (Prediction, error) {
+	if len(input) != s.inputLen {
+		return Prediction{}, fmt.Errorf("%w: got %d values, model expects %d", ErrBadInput, len(input), s.inputLen)
+	}
+	r := &request{ctx: ctx, input: input, enq: time.Now(), done: make(chan result, 1)}
+
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return Prediction{}, ErrDraining
+	}
+	select {
+	case s.queue <- r:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		s.rec.Counter(CounterRejected, 1)
+		return Prediction{}, ErrOverloaded
+	}
+	s.requests.Add(1)
+	s.rec.Counter(CounterRequests, 1)
+	s.rec.Gauge(GaugeQueueDepth, float64(len(s.queue)))
+
+	select {
+	case res := <-r.done:
+		if res.err == nil {
+			e2e := time.Since(r.enq)
+			s.statsMu.Lock()
+			s.latency.Observe(e2e)
+			s.statsMu.Unlock()
+			s.rec.StepDone(telemetry.StepSample{Examples: 1, Latency: e2e})
+		}
+		return res.pred, res.err
+	case <-ctx.Done():
+		s.expired.Add(1)
+		s.rec.Counter(CounterExpired, 1)
+		return Prediction{}, ctx.Err()
+	}
+}
+
+// batchLoop is the micro-batcher: it blocks for the first request, coalesces
+// more until the batch is full or MaxWait elapses, then hands the batch to a
+// free replica. Dispatch happens on a worker goroutine, so while one batch
+// computes the loop is already collecting the next one.
+func (s *Server) batchLoop() {
+	defer close(s.batchDone)
+	for {
+		var first *request
+		select {
+		case first = <-s.queue:
+		case <-s.stop:
+			s.drainQueue()
+			return
+		}
+		batch := make([]*request, 1, s.cfg.MaxBatch)
+		batch[0] = first
+		if s.cfg.MaxWait > 0 && s.cfg.MaxBatch > 1 {
+			timer := time.NewTimer(s.cfg.MaxWait)
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.queue:
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				case <-s.stop:
+					break collect
+				}
+			}
+			timer.Stop()
+		} else {
+		greedy:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.queue:
+					batch = append(batch, r)
+				default:
+					break greedy
+				}
+			}
+		}
+		s.dispatch(batch)
+	}
+}
+
+// drainQueue flushes every request still queued at shutdown into final
+// batches, so accepted work is answered rather than abandoned.
+func (s *Server) drainQueue() {
+	for {
+		batch := make([]*request, 0, s.cfg.MaxBatch)
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.queue:
+				batch = append(batch, r)
+			default:
+				goto flush
+			}
+		}
+	flush:
+		if len(batch) == 0 {
+			return
+		}
+		s.dispatch(batch)
+	}
+}
+
+// dispatch runs one batch on a free replica. Acquire blocks until a replica
+// is available, which is the pool's backpressure on the batcher itself.
+func (s *Server) dispatch(batch []*request) {
+	m := s.pool.Acquire()
+	s.inflight.Add(1)
+	go func() {
+		defer s.inflight.Done()
+		defer s.pool.Release(m)
+		s.runBatch(m, batch)
+	}()
+}
+
+// runBatch executes one coalesced forward pass and fans results back out.
+func (s *Server) runBatch(m *nn.Model, batch []*request) {
+	// Skip requests whose caller has already gone away (timeout/cancel):
+	// they have received ctx.Err() and nobody reads their done channel.
+	live := batch[:0:0]
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	// Panic safety: a corrupt artifact or a bug in a layer must fail the
+	// batch, not the process, and must not leak the replica (Release is
+	// deferred by dispatch). Callers get a plain error.
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.rec.Counter(CounterPanics, 1)
+			err := fmt.Errorf("serve: inference panic: %v", p)
+			for _, r := range live {
+				r.done <- result{err: err}
+			}
+		}
+	}()
+
+	shape := make([]int, 0, len(s.cfg.InputShape)+1)
+	shape = append(shape, len(live))
+	shape = append(shape, s.cfg.InputShape...)
+	x := tensor.New(shape...)
+	for i, r := range live {
+		copy(x.Data[i*s.inputLen:(i+1)*s.inputLen], r.input)
+	}
+	logits := m.Net.Forward(x, false)
+	probs := tensor.SoftmaxRows(logits)
+
+	n := len(live)
+	s.statsMu.Lock()
+	s.batches++
+	s.batchSum += uint64(n)
+	if n > s.batchMax {
+		s.batchMax = n
+	}
+	if n-1 < len(s.batchDist) {
+		s.batchDist[n-1]++
+	}
+	s.statsMu.Unlock()
+	s.rec.Counter(CounterBatches, 1)
+	s.rec.Gauge(GaugeBatchSize, float64(n))
+
+	classes := probs.Shape[1]
+	for i, r := range live {
+		p := make([]float32, classes)
+		copy(p, probs.Data[i*classes:(i+1)*classes])
+		r.done <- result{pred: Prediction{Class: argmax(p), Probs: p, BatchSize: n}}
+	}
+}
+
+// argmax returns the index of the largest value (first on ties).
+func argmax(p []float32) int {
+	best := 0
+	for i, v := range p {
+		if v > p[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Close drains the server: new Predict calls fail with ErrDraining, queued
+// requests are served, and Close returns once every in-flight batch has
+// finished. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+	<-s.batchDone
+	s.inflight.Wait()
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	// Replicas is the model pool size.
+	Replicas int `json:"replicas"`
+	// QueueCap and QueueDepth describe the bounded request queue.
+	QueueCap   int `json:"queue_cap"`
+	QueueDepth int `json:"queue_depth"`
+	// Requests counts accepted requests; Rejected counts ErrOverloaded
+	// fast-failures; Expired counts requests whose context ended first;
+	// Panics counts recovered inference panics.
+	Requests uint64 `json:"requests"`
+	Rejected uint64 `json:"rejected"`
+	Expired  uint64 `json:"expired"`
+	Panics   uint64 `json:"panics"`
+	// Batches counts forward passes; MeanBatchSize and MaxBatchSize
+	// describe coalescing quality; BatchSizeCounts[n-1] counts batches of
+	// size n.
+	Batches         uint64   `json:"batches"`
+	MeanBatchSize   float64  `json:"mean_batch_size"`
+	MaxBatchSize    int      `json:"max_batch_size"`
+	BatchSizeCounts []uint64 `json:"batch_size_counts"`
+	// End-to-end request latency quantiles (enqueue to response).
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP95 time.Duration `json:"latency_p95_ns"`
+	LatencyMax time.Duration `json:"latency_max_ns"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Replicas:   s.pool.Size(),
+		QueueCap:   cap(s.queue),
+		QueueDepth: len(s.queue),
+		Requests:   s.requests.Load(),
+		Rejected:   s.rejected.Load(),
+		Expired:    s.expired.Load(),
+		Panics:     s.panics.Load(),
+	}
+	s.statsMu.Lock()
+	st.Batches = s.batches
+	if s.batches > 0 {
+		st.MeanBatchSize = float64(s.batchSum) / float64(s.batches)
+	}
+	st.MaxBatchSize = s.batchMax
+	st.BatchSizeCounts = append([]uint64(nil), s.batchDist...)
+	st.LatencyP50 = s.latency.Quantile(0.5)
+	st.LatencyP95 = s.latency.Quantile(0.95)
+	st.LatencyMax = s.latency.Max()
+	s.statsMu.Unlock()
+	return st
+}

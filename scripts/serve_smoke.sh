@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke test, run by CI and `make serve-smoke`:
+# train briefly -> export the sparse artifact -> start dropback-serve ->
+# round-trip a prediction over HTTP -> check health/stats endpoints ->
+# SIGTERM and require a graceful zero-exit drain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${SERVE_SMOKE_ADDR:-127.0.0.1:18080}"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "==> training one epoch and exporting the sparse artifact"
+go run ./cmd/dropback -model mnist100 -method dropback -budget 10000 \
+    -epochs 1 -samples 400 -seed 1 -export-sparse "$TMP/model.dbsp"
+
+echo "==> starting dropback-serve on $ADDR"
+go build -o "$TMP/dropback-serve" ./cmd/dropback-serve
+"$TMP/dropback-serve" -artifact "$TMP/model.dbsp" -model mnist100 -seed 1 \
+    -addr "$ADDR" -replicas 2 -max-batch 4 -timeout 5s \
+    -telemetry "$TMP/serve.jsonl" >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+echo "==> waiting for readiness"
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "server exited early:"; cat "$TMP/serve.log"; exit 1
+    fi
+    sleep 0.2
+done
+curl -sf "http://$ADDR/readyz" >/dev/null || { echo "server never became ready"; cat "$TMP/serve.log"; exit 1; }
+
+echo "==> predict round trip"
+awk 'BEGIN{
+    printf "{\"input\":[";
+    for (i = 0; i < 784; i++) printf "%s%.4f", (i ? "," : ""), (i % 13) / 13;
+    printf "]}";
+}' >"$TMP/payload.json"
+RESP="$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @"$TMP/payload.json" "http://$ADDR/v1/predict")"
+echo "    $RESP"
+case "$RESP" in
+    *'"class"'*'"probs"'*) ;;
+    *) echo "predict response missing class/probs"; exit 1 ;;
+esac
+
+echo "==> malformed input is rejected with 400"
+STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' -d '{"input":[1,2,3]}' "http://$ADDR/v1/predict")"
+[ "$STATUS" = "400" ] || { echo "bad input returned $STATUS, want 400"; exit 1; }
+
+echo "==> health and stats"
+curl -sf "http://$ADDR/healthz" >/dev/null
+STATS="$(curl -sf "http://$ADDR/statsz")"
+echo "    $STATS"
+case "$STATS" in
+    *'"requests":'*) ;;
+    *) echo "statsz missing request counters"; exit 1 ;;
+esac
+
+echo "==> graceful drain on SIGTERM"
+kill -TERM "$SERVE_PID"
+EXIT_CODE=0
+wait "$SERVE_PID" || EXIT_CODE=$?
+SERVE_PID=""
+if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "server exited $EXIT_CODE on SIGTERM, want 0:"; cat "$TMP/serve.log"; exit 1
+fi
+grep -q "shutdown signal received" "$TMP/serve.log" || { echo "no drain log line:"; cat "$TMP/serve.log"; exit 1; }
+[ -s "$TMP/serve.jsonl" ] || { echo "telemetry stream is empty (drain lost it?)"; exit 1; }
+
+echo "==> serve smoke OK"
