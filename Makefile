@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-telemetry serve-smoke clean
+.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-telemetry serve-smoke clean
 
-check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve serve-smoke
+check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train serve-smoke
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,13 @@ test:
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
 
+# Repo-wide: the data-parallel training executor put goroutines in the
+# trainer hot path, so every package that touches a model now runs under
+# the race detector (this includes the W={1,2,4} bit-identity equivalence
+# suite at the repo root). The raised timeout covers the experiments
+# package, which exceeds go test's 10m default under race on slow runners.
 race:
-	$(GO) test -race ./internal/tensor ./internal/nn ./internal/core ./internal/checkpoint ./internal/serve .
+	$(GO) test -race -timeout 1800s ./...
 
 # One iteration per benchmark: a smoke test that every benchmark still runs.
 bench:
@@ -51,6 +56,13 @@ bench-guard-serve:
 		-run '^$$' ./internal/serve > bench_serve.out
 	$(GO) run ./cmd/benchguard -baseline BENCH_serve.json -input bench_serve.out
 
+# Training-step gate: BenchmarkTrainStep (sequential + shard-parallel
+# executor) must stay under the allocs/op ceilings in BENCH_train.json.
+bench-guard-train:
+	$(GO) test -bench BenchmarkTrainStep -benchmem -benchtime 20x \
+		-run '^$$' . > bench_train.out
+	$(GO) run ./cmd/benchguard -baseline BENCH_train.json -input bench_train.out
+
 # End-to-end serving smoke: train -> export artifact -> dropback-serve ->
 # HTTP predict round trip -> graceful SIGTERM drain.
 serve-smoke:
@@ -65,4 +77,4 @@ bench-telemetry:
 		-bench-out BENCH_telemetry.json
 
 clean:
-	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out cpu.pprof heap.pprof
+	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out bench_train.out cpu.pprof heap.pprof

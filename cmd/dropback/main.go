@@ -45,6 +45,7 @@ func run() error {
 		pruneF   = flag.Float64("prune-fraction", 0.75, "magnitude/slimming prune fraction")
 		epochs   = flag.Int("epochs", 10, "training epochs")
 		batch    = flag.Int("batch", 32, "mini-batch size")
+		workers  = flag.Int("train-workers", 1, "data-parallel training workers (results are bit-identical at any count)")
 		samples  = flag.Int("samples", 2000, "synthetic dataset size")
 		lr       = flag.Float64("lr", 0.1, "initial learning rate (x0.5 step decay)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -106,6 +107,13 @@ func run() error {
 	}
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *workers > 1 {
+		cfg.Workers = *workers
+		cfg.WorkerModel = func() (*dropback.Model, error) {
+			r, _, err := buildModel(*model, *seed, variational)
+			return r, err
+		}
 	}
 	if *ckptDir != "" {
 		cfg.Checkpoint = &dropback.CheckpointSpec{

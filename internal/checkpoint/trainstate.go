@@ -17,6 +17,12 @@ import (
 // (Train restores the best weights at the end, so the best snapshot must
 // survive a crash), the per-epoch history, the batcher's shuffle RNG
 // position, optimizer state, and DropBack's tracked-set state.
+//
+// TrainState is deliberately worker-count-free: the data-parallel executor
+// is bit-identical to sequential training at any worker count (DESIGN.md
+// §8), so the number of training workers is an execution detail, never
+// resumable state. A checkpoint written at one worker count resumes at any
+// other without a format change — and must stay that way.
 type TrainState struct {
 	// Epoch is the number of completed epochs; Step the number of completed
 	// optimizer steps.

@@ -1,0 +1,154 @@
+// Package gradcheck is the reusable numerical-gradient verification toolkit
+// behind the layer test suites. It promotes the checker that used to live
+// inside internal/nn's tests into an importable package so every layer of
+// the stack — raw layers, composite blocks, the loss head, and the
+// DropBack-masked optimizer update — can be validated against central finite
+// differences from any test package without copying the harness.
+//
+// All checkers return an error (rather than failing a *testing.T) so they
+// compose: a test wraps them in t.Fatal, a fuzz target inspects them, and a
+// higher-level suite can aggregate several checks before reporting.
+package gradcheck
+
+import (
+	"fmt"
+	"math"
+
+	"dropback/internal/nn"
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// RandInput returns a tensor of the given shape filled with deterministic
+// unit normals drawn from the indexed xorshift stream for seed — the same
+// recipe the nn test suites use, so inputs are reproducible across packages.
+func RandInput(seed uint64, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedNormal(seed, uint64(i))
+	}
+	return x
+}
+
+// Check verifies a layer's analytic gradients (input and parameters) against
+// central finite differences of the scalar loss sum(y ⊙ r), where r is a
+// fixed random weighting. The layer runs in training mode, so BatchNorm is
+// checked through its batch-statistics path. Stochastic layers (dropout)
+// resample per Forward call and cannot be finite-differenced this way.
+//
+// eps is the finite-difference step (1e-2 suits float32 layers); tol is the
+// relative tolerance |numeric − analytic| ≤ tol·(1 + |numeric|). Gradients
+// are checked on a deterministic sample of elements (up to ~50 input and
+// ~30 per-parameter elements) to keep large layers affordable.
+func Check(layer nn.Layer, x *tensor.Tensor, eps, tol float64) error {
+	y := layer.Forward(x, true)
+	r := tensor.New(y.Shape...)
+	for i := range r.Data {
+		r.Data[i] = xorshift.IndexedNormal(777, uint64(i))
+	}
+	loss := func() float64 {
+		return tensor.Dot(layer.Forward(x, true), r)
+	}
+	// Analytic gradients.
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	layer.Forward(x, true)
+	dx := layer.Backward(r)
+
+	feps := float32(eps)
+	// Check input gradient on a sample of elements.
+	stride := len(x.Data)/50 + 1
+	for i := 0; i < len(x.Data); i += stride {
+		orig := x.Data[i]
+		x.Data[i] = orig + feps
+		lp := loss()
+		x.Data[i] = orig - feps
+		lm := loss()
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dx.Data[i])
+		if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+			return fmt.Errorf("gradcheck: %s: input grad[%d]: analytic %v vs numeric %v", layer.Name(), i, analytic, numeric)
+		}
+	}
+	// Check parameter gradients on a sample of elements.
+	for _, p := range layer.Params() {
+		pstride := len(p.Value.Data)/30 + 1
+		for i := 0; i < len(p.Value.Data); i += pstride {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + feps
+			lp := loss()
+			p.Value.Data[i] = orig - feps
+			lm := loss()
+			p.Value.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(p.Grad.Data[i])
+			if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+				return fmt.Errorf("gradcheck: %s: param %s grad[%d]: analytic %v vs numeric %v", layer.Name(), p.Name, i, analytic, numeric)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLoss verifies the softmax-cross-entropy loss head: the analytic
+// dLoss/dlogits from nn.SoftmaxCrossEntropy.Backward is compared against
+// central finite differences of the mean loss over every logit element.
+// The loss is smooth in the logits, so no sampling is needed.
+func CheckLoss(logits *tensor.Tensor, labels []int, eps, tol float64) error {
+	var head nn.SoftmaxCrossEntropy
+	loss := func() float64 {
+		l, _ := head.Forward(logits, labels)
+		return l
+	}
+	loss()
+	dlogits := head.Backward()
+	feps := float32(eps)
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + feps
+		lp := loss()
+		logits.Data[i] = orig - feps
+		lm := loss()
+		logits.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dlogits.Data[i])
+		if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+			return fmt.Errorf("gradcheck: loss head: dlogits[%d]: analytic %v vs numeric %v", i, analytic, numeric)
+		}
+	}
+	return nil
+}
+
+// CheckMaskedUpdate verifies the DropBack-masked update path after one
+// SGD-step-plus-Apply cycle: every tracked weight (mask true at its global
+// index) must hold exactly w − lr·g computed from the pre-update snapshot,
+// and every untracked weight must hold exactly its regenerated
+// initialization value. Both checks are bitwise — the masked update is a
+// deterministic function of (before, grad, lr, mask), not an approximation.
+//
+// before and grad are flat global-index-order snapshots (nn.ParamSet.Snapshot
+// layout) captured immediately before the optimizer step.
+func CheckMaskedUpdate(set *nn.ParamSet, mask []bool, before, grad []float32, lr float32) error {
+	if len(mask) != set.Total() || len(before) != set.Total() || len(grad) != set.Total() {
+		return fmt.Errorf("gradcheck: masked update: mask/before/grad lengths (%d,%d,%d) must equal parameter total %d",
+			len(mask), len(before), len(grad), set.Total())
+	}
+	after := set.Snapshot()
+	for g := range mask {
+		if mask[g] {
+			// Replays optim.SGD's exact arithmetic: w += (−lr)·g in float32.
+			want := before[g] + (-lr)*grad[g]
+			if math.Float32bits(after[g]) != math.Float32bits(want) {
+				return fmt.Errorf("gradcheck: masked update: tracked weight %d: got %v, want %v (w−lr·g)", g, after[g], want)
+			}
+		} else {
+			want := set.InitialValue(g)
+			if math.Float32bits(after[g]) != math.Float32bits(want) {
+				return fmt.Errorf("gradcheck: masked update: untracked weight %d: got %v, want regenerated init %v", g, after[g], want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package gradcheck
+
+import (
+	"testing"
+
+	"dropback/internal/core"
+	"dropback/internal/nn"
+	"dropback/internal/optim"
+	"dropback/internal/tensor"
+)
+
+// check adapts the error-returning Check to test failure.
+func check(t *testing.T, layer nn.Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	if err := Check(layer, x, 1e-2, tol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckLinear(t *testing.T) {
+	check(t, nn.NewLinear("fc", 1, 6, 4), RandInput(10, 5, 6), 2e-2)
+}
+
+func TestGradCheckLinearNoBias(t *testing.T) {
+	check(t, nn.NewLinearNoBias("fcnb", 1, 5, 3), RandInput(11, 4, 5), 2e-2)
+}
+
+func TestGradCheckConv2D(t *testing.T) {
+	check(t, nn.NewConv2D("conv", 2, 2, 3, 3, 1, 1), RandInput(12, 2, 2, 5, 5), 3e-2)
+}
+
+func TestGradCheckConv2DStride2NoBias(t *testing.T) {
+	check(t, nn.NewConv2DNoBias("conv2", 2, 2, 3, 3, 2, 1), RandInput(13, 2, 2, 6, 6), 3e-2)
+}
+
+func TestGradCheckReLU(t *testing.T) {
+	check(t, nn.NewReLU("relu"), RandInput(14, 3, 7), 2e-2)
+}
+
+func TestGradCheckPReLU(t *testing.T) {
+	check(t, nn.NewPReLU("prelu", 3), RandInput(15, 3, 7), 2e-2)
+}
+
+// BatchNorm runs in training mode inside Check, so these cover the
+// batch-statistics path (mean/variance of the live batch), not the frozen
+// running estimates.
+func TestGradCheckBatchNorm2D(t *testing.T) {
+	check(t, nn.NewBatchNorm("bn", 4, 3), RandInput(16, 2, 3, 4, 4), 5e-2)
+}
+
+func TestGradCheckBatchNorm1D(t *testing.T) {
+	check(t, nn.NewBatchNorm("bn1", 5, 6), RandInput(17, 8, 6), 5e-2)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	// Spread values so eps perturbations cannot flip argmax decisions.
+	x := RandInput(18, 1, 2, 4, 4)
+	tensor.ScaleInPlace(x, 10)
+	check(t, nn.NewMaxPool2D("mp", 2, 2), x, 2e-2)
+}
+
+func TestGradCheckAvgPool(t *testing.T) {
+	check(t, nn.NewAvgPool2D("ap", 2, 2), RandInput(19, 1, 2, 4, 4), 2e-2)
+}
+
+func TestGradCheckGlobalAvgPool(t *testing.T) {
+	check(t, nn.NewGlobalAvgPool2D("gap"), RandInput(20, 2, 3, 4, 4), 2e-2)
+}
+
+func TestGradCheckSequential(t *testing.T) {
+	seq := nn.NewSequential("mlp",
+		nn.NewLinear("mlp/fc1", 6, 5, 8),
+		nn.NewReLU("mlp/r1"),
+		nn.NewLinear("mlp/fc2", 6, 8, 3),
+	)
+	check(t, seq, RandInput(21, 4, 5), 3e-2)
+}
+
+func TestGradCheckResidualIdentity(t *testing.T) {
+	body := nn.NewSequential("res/body",
+		nn.NewLinear("res/fc1", 7, 6, 6),
+		nn.NewReLU("res/r"),
+	)
+	check(t, nn.NewResidual("res", body, nil), RandInput(22, 3, 6), 3e-2)
+}
+
+func TestGradCheckResidualProjection(t *testing.T) {
+	body := nn.NewConv2DNoBias("rb/c1", 8, 2, 4, 3, 1, 1)
+	short := nn.NewConv2DNoBias("rb/sc", 8, 2, 4, 1, 1, 0)
+	check(t, nn.NewResidual("rb", body, short), RandInput(23, 2, 2, 4, 4), 3e-2)
+}
+
+func TestGradCheckDenseBlock(t *testing.T) {
+	g := 2
+	u0 := nn.NewConv2DNoBias("db/u0", 9, 3, g, 3, 1, 1)
+	u1 := nn.NewConv2DNoBias("db/u1", 9, 3+g, g, 3, 1, 1)
+	db := nn.NewDenseBlock("db", 3, g, u0, u1)
+	check(t, db, RandInput(24, 2, 3, 4, 4), 3e-2)
+}
+
+func TestGradCheckFlattenChain(t *testing.T) {
+	seq := nn.NewSequential("fc",
+		nn.NewFlatten("fc/flat"),
+		nn.NewLinear("fc/out", 25, 12, 4),
+	)
+	check(t, seq, RandInput(25, 3, 3, 2, 2), 3e-2)
+}
+
+func TestGradCheckSequentialWithBNAndPool(t *testing.T) {
+	// No ReLU in this chain: BN centers activations at zero, where the
+	// ReLU kink makes finite differences meaningless. The smooth
+	// conv→BN→pool→fc composition checks cross-layer gradient routing.
+	seed := uint64(95)
+	net := nn.NewSequential("gc",
+		nn.NewConv2DNoBias("gc/conv", seed, 2, 3, 3, 1, 1),
+		nn.NewBatchNorm("gc/bn", seed, 3),
+		nn.NewAvgPool2D("gc/pool", 2, 2),
+		nn.NewFlatten("gc/flat"),
+		nn.NewLinear("gc/fc", seed, 12, 2),
+	)
+	check(t, net, RandInput(96, 2, 2, 4, 4), 6e-2)
+}
+
+func TestGradCheckLossHead(t *testing.T) {
+	logits := RandInput(30, 6, 4)
+	labels := []int{0, 1, 2, 3, 1, 2}
+	if err := CheckLoss(logits, labels, 1e-3, 2e-2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGradCheckLossHeadSingleSample(t *testing.T) {
+	logits := RandInput(31, 1, 5)
+	if err := CheckLoss(logits, []int{3}, 1e-3, 2e-2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDropBackMaskedUpdate pins the masked optimizer update: after one
+// SGD step plus DropBack Apply, tracked weights hold exactly w − lr·g and
+// untracked weights hold exactly their regenerated initialization values,
+// bitwise.
+func TestDropBackMaskedUpdate(t *testing.T) {
+	net := nn.NewSequential("mu",
+		nn.NewLinear("mu/fc1", 41, 6, 10),
+		nn.NewReLU("mu/r"),
+		nn.NewLinear("mu/fc2", 41, 10, 3),
+	)
+	m := nn.NewModel(net, 41)
+	db := core.New(m.Set, core.Config{Budget: m.Set.Total() / 4, FreezeAfterEpoch: -1})
+	sgd := optim.NewSGD(0.05)
+
+	x := RandInput(42, 4, 6)
+	labels := []int{0, 1, 2, 1}
+	for step := 0; step < 3; step++ {
+		m.Step(x, labels)
+		before := m.Set.Snapshot()
+		grad := make([]float32, m.Set.Total())
+		for i, p := range m.Set.Params() {
+			copy(grad[m.Set.Offset(i):], p.Grad.Data)
+		}
+		sgd.Step(m.Set)
+		db.Apply()
+		if err := CheckMaskedUpdate(m.Set, db.Mask(), before, grad, sgd.LR); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+
+	// The frozen path regenerates without reselecting; the contract holds
+	// against the frozen mask.
+	db.Freeze()
+	m.Step(x, labels)
+	before := m.Set.Snapshot()
+	grad := make([]float32, m.Set.Total())
+	for i, p := range m.Set.Params() {
+		copy(grad[m.Set.Offset(i):], p.Grad.Data)
+	}
+	sgd.Step(m.Set)
+	db.Apply()
+	if err := CheckMaskedUpdate(m.Set, db.Mask(), before, grad, sgd.LR); err != nil {
+		t.Fatalf("frozen step: %v", err)
+	}
+}
+
+// TestCheckDetectsBrokenGradient guards the checker itself: a layer whose
+// Backward lies about its gradient must be rejected.
+func TestCheckDetectsBrokenGradient(t *testing.T) {
+	l := &brokenLayer{inner: nn.NewLinear("bad", 1, 4, 3)}
+	if err := Check(l, RandInput(43, 2, 4), 1e-2, 2e-2); err == nil {
+		t.Fatal("Check accepted a layer with a corrupted backward pass")
+	}
+}
+
+// brokenLayer wraps a Linear but scales its input gradient by 2, simulating
+// a backward-pass bug.
+type brokenLayer struct {
+	inner nn.Layer
+}
+
+func (b *brokenLayer) Name() string        { return b.inner.Name() }
+func (b *brokenLayer) Params() []*nn.Param { return b.inner.Params() }
+func (b *brokenLayer) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return b.inner.Forward(x, train)
+}
+func (b *brokenLayer) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := b.inner.Backward(dy)
+	tensor.ScaleInPlace(dx, 2)
+	return dx
+}

@@ -122,6 +122,12 @@ type Dropout struct {
 	rng  *xorshift.State64
 	mask []float32
 	ws   *tensor.Workspace
+	// pendingSkipSamples is consumed by the next sampling Forward call: the
+	// stream is advanced past that many samples' worth of draws before the
+	// call's own sampling begins. The data-parallel trainer arms it so a
+	// shard starting at batch row s draws exactly the mask values the
+	// sequential full-batch pass would have drawn for rows s, s+1, …
+	pendingSkipSamples int
 }
 
 // NewDropout returns a dropout layer with drop probability p in [0, 1).
@@ -141,11 +147,25 @@ func (l *Dropout) RNGState() uint64 { return l.rng.State() }
 // SetRNGState implements RNGStateful.
 func (l *Dropout) SetRNGState(s uint64) { l.rng.SetState(s) }
 
+// SkipSamples arms the layer to advance its mask stream past n samples'
+// worth of draws at the start of the next sampling Forward call (the
+// per-sample draw count is x.Len()/x.Shape[0], known only once the input
+// arrives). Inference-mode and P==0 forwards draw nothing and leave the
+// armed skip in place, mirroring the sequential stream they don't advance.
+func (l *Dropout) SkipSamples(n int) { l.pendingSkipSamples = n }
+
 // Forward implements Layer.
 func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || l.P == 0 {
 		l.mask = nil
 		return x
+	}
+	if l.pendingSkipSamples > 0 {
+		perSample := x.Len() / x.Shape[0]
+		for i := l.pendingSkipSamples * perSample; i > 0; i-- {
+			l.rng.Float32()
+		}
+		l.pendingSkipSamples = 0
 	}
 	if cap(l.mask) < x.Len() {
 		l.mask = make([]float32, x.Len())

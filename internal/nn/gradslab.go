@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"fmt"
+
+	"dropback/internal/tensor"
+)
+
+// GradBinding redirects a ParamSet's gradient buffers into caller-owned flat
+// slabs. The data-parallel trainer gives every sample of a minibatch its own
+// slab row of ParamSet.Total() scalars: a worker binds its replica's
+// gradients to the current sample's row, runs backward (which accumulates
+// into the row), and the trainer later reduces the rows in ascending sample
+// order. Bind re-slices a fixed set of view tensors, so rebinding per sample
+// allocates nothing.
+//
+// A binding belongs to one ParamSet (one model replica) and is
+// single-goroutine, like the model itself.
+type GradBinding struct {
+	set   *ParamSet
+	orig  []*tensor.Tensor
+	views []*tensor.Tensor
+}
+
+// NewGradBinding prepares a binding for the set, remembering the original
+// gradient tensors so Unbind can restore them.
+func NewGradBinding(set *ParamSet) *GradBinding {
+	b := &GradBinding{set: set}
+	for _, p := range set.Params() {
+		b.orig = append(b.orig, p.Grad)
+		shape := append([]int(nil), p.Grad.Shape...)
+		b.views = append(b.views, &tensor.Tensor{Shape: shape})
+	}
+	return b
+}
+
+// Bind points every parameter's Grad at its segment of buf, which must hold
+// exactly ParamSet.Total() scalars laid out in global index order. The
+// buffer contents are left untouched — clear the row first when the backward
+// pass should accumulate from zero.
+func (b *GradBinding) Bind(buf []float32) {
+	if len(buf) != b.set.Total() {
+		panic(fmt.Sprintf("nn: grad slab row has %d scalars, parameter set has %d", len(buf), b.set.Total()))
+	}
+	for i, p := range b.set.Params() {
+		off := b.set.Offset(i)
+		v := b.views[i]
+		v.Data = buf[off : off+p.Len()]
+		p.Grad = v
+	}
+}
+
+// Unbind restores the original gradient tensors captured at construction.
+func (b *GradBinding) Unbind() {
+	for i, p := range b.set.Params() {
+		p.Grad = b.orig[i]
+	}
+}
+
+// ReduceGradSlab folds per-sample gradient rows into the set's gradient
+// buffers: grad[j] += slab[s*P+j] for s = 0…rows−1, strictly ascending per
+// element. The element range is fanned out across ParallelChunks workers,
+// which cannot perturb the result because every element's accumulation
+// order is fixed regardless of how elements are grouped. Call ZeroGrads
+// first to reproduce the sequential path's zero-then-accumulate sequence.
+func (ps *ParamSet) ReduceGradSlab(slab []float32, rows int) {
+	total := ps.Total()
+	if len(slab) < rows*total {
+		panic(fmt.Sprintf("nn: grad slab holds %d scalars, need %d rows × %d", len(slab), rows, total))
+	}
+	for i, p := range ps.params {
+		off := ps.offsets[i]
+		g := p.Grad.Data
+		n := len(g)
+		tensor.ParallelChunks(n, n*rows, func(_, lo, hi int) {
+			for s := 0; s < rows; s++ {
+				row := slab[s*total+off : s*total+off+n]
+				for j := lo; j < hi; j++ {
+					g[j] += row[j]
+				}
+			}
+		})
+	}
+}
+
+// CheckShardable reports whether every layer reachable from root is safe
+// for per-sample shard-parallel training: a layer qualifies only if its
+// forward pass treats batch rows independently and its backward pass
+// accumulates parameter gradients as a per-sample sum in ascending sample
+// order (so per-sample micro-batches reduce bit-identically to the
+// full-batch pass). The check is a conservative whitelist — an unknown
+// layer type is rejected rather than assumed safe.
+//
+// Known-unsafe layers: BatchNorm computes training-mode statistics over the
+// whole batch, so its per-sample outputs are not row-independent; PReLU
+// accumulates its slope gradient in one float64 across all batch elements,
+// rounding to float32 once per batch instead of once per sample.
+func CheckShardable(root Layer) error {
+	var err error
+	Walk(root, func(l Layer) {
+		if err != nil {
+			return
+		}
+		switch l.(type) {
+		case *Sequential, *Residual, *DenseBlock, *Identity, *Flatten,
+			*Linear, *Conv2D, *ReLU, *Dropout,
+			*MaxPool2D, *AvgPool2D, *GlobalAvgPool2D:
+		case *BatchNorm:
+			err = fmt.Errorf("nn: layer %q: BatchNorm training-mode statistics couple all batch samples; shard-parallel training would change results", l.Name())
+		case *PReLU:
+			err = fmt.Errorf("nn: layer %q: PReLU accumulates its slope gradient in float64 across the whole batch; shard-parallel training would change rounding", l.Name())
+		default:
+			err = fmt.Errorf("nn: layer %q (%T) is not certified for shard-parallel training", l.Name(), l)
+		}
+	})
+	return err
+}
+
+// ArmDropoutSkip arms every Dropout layer under root to skip n samples'
+// worth of mask draws at its next sampling Forward call (see
+// Dropout.SkipSamples). The data-parallel trainer uses it to position a
+// shard's mask streams exactly where the sequential pass would be when it
+// reaches the shard's first sample.
+func ArmDropoutSkip(root Layer, n int) {
+	Walk(root, func(l Layer) {
+		if d, ok := l.(*Dropout); ok {
+			d.SkipSamples(n)
+		}
+	})
+}

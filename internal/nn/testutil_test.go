@@ -1,0 +1,19 @@
+package nn
+
+import (
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// randInput returns a deterministic random tensor for in-package tests.
+// The numerical gradient checker itself lives in internal/gradcheck
+// (exported as Check/CheckLoss/CheckMaskedUpdate), together with the
+// per-layer gradient test suite; this helper stays here because package nn
+// tests cannot import gradcheck without an import cycle.
+func randInput(seed uint64, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedNormal(seed, uint64(i))
+	}
+	return x
+}

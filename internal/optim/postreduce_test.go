@@ -1,0 +1,92 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/nn"
+	"dropback/internal/xorshift"
+)
+
+// buildPostReduceSet returns a two-layer parameter set plus a slab of
+// per-sample gradient rows in the set's flat layout, deterministic in seed.
+func buildPostReduceSet(seed uint64, rows int) (*nn.ParamSet, []float32) {
+	net := nn.NewSequential("pr",
+		nn.NewLinear("pr/fc1", seed, 5, 7),
+		nn.NewLinear("pr/fc2", seed, 7, 3),
+	)
+	set := nn.NewParamSet(net)
+	slab := make([]float32, rows*set.Total())
+	for i := range slab {
+		slab[i] = xorshift.IndexedNormal(seed^0x9E77, uint64(i))
+	}
+	return set, slab
+}
+
+// TestSGDStepOnReducedSlabMatchesSequential pins the one-shot post-reduce
+// update contract the data-parallel executor relies on: summing per-sample
+// gradient rows in ascending sample order (ParamSet.ReduceGradSlab) and
+// applying a single SGD step is bitwise identical to the sequential path
+// that accumulates the same rows into the gradient buffers one sample at a
+// time. The optimizer must run exactly once per step, on the fully reduced
+// gradients — never per worker or per shard.
+func TestSGDStepOnReducedSlabMatchesSequential(t *testing.T) {
+	const rows = 6
+	seqSet, slab := buildPostReduceSet(77, rows)
+	redSet, _ := buildPostReduceSet(77, rows)
+
+	// Sequential reference: accumulate rows ascending, then one step.
+	total := seqSet.Total()
+	for s := 0; s < rows; s++ {
+		row := slab[s*total : (s+1)*total]
+		for i, p := range seqSet.Params() {
+			off := seqSet.Offset(i)
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] += row[off+j]
+			}
+		}
+	}
+	sgd := NewSGD(0.05)
+	sgd.Step(seqSet)
+
+	// Post-reduce path: one deterministic slab reduction, one step.
+	redSet.ZeroGrads()
+	redSet.ReduceGradSlab(slab, rows)
+	NewSGD(0.05).Step(redSet)
+
+	seq, red := seqSet.Snapshot(), redSet.Snapshot()
+	for g := range seq {
+		if math.Float32bits(seq[g]) != math.Float32bits(red[g]) {
+			t.Fatalf("weight %d differs after post-reduce step: %v vs %v", g, red[g], seq[g])
+		}
+	}
+}
+
+// TestSGDStepIsSingleShot pins that Step applies exactly one lr·grad
+// update: doubling the invocation count visibly changes the result, so a
+// data-parallel executor that accidentally stepped per worker could not
+// pass the equivalence suite.
+func TestSGDStepIsSingleShot(t *testing.T) {
+	onceSet, slab := buildPostReduceSet(78, 1)
+	twiceSet, _ := buildPostReduceSet(78, 1)
+
+	onceSet.ReduceGradSlab(slab, 1)
+	NewSGD(0.1).Step(onceSet)
+
+	twiceSet.ReduceGradSlab(slab, 1)
+	o := NewSGD(0.1)
+	o.Step(twiceSet)
+	o.Step(twiceSet)
+
+	diff := false
+	once, twice := onceSet.Snapshot(), twiceSet.Snapshot()
+	for g := range once {
+		if once[g] != twice[g] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("two SGD steps left the weights unchanged versus one — gradient application is broken")
+	}
+}

@@ -1,0 +1,74 @@
+package prune
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/nn"
+	"dropback/internal/optim"
+	"dropback/internal/xorshift"
+)
+
+// TestMagnitudeApplyAfterPostReduceStep pins the constraint half of the
+// one-shot post-reduce contract: after the data-parallel executor reduces
+// per-sample gradient rows and the optimizer steps once, the pruning
+// constraint also applies exactly once — and the result is bitwise
+// identical to the sequential path that accumulated the same rows one
+// sample at a time. Mask selection depends only on the post-step weights,
+// so the two paths must agree on the surviving set too.
+func TestMagnitudeApplyAfterPostReduceStep(t *testing.T) {
+	const rows = 4
+	build := func() (*nn.ParamSet, []float32) {
+		net := nn.NewSequential("pp",
+			nn.NewLinear("pp/fc1", 31, 6, 8),
+			nn.NewLinear("pp/fc2", 31, 8, 4),
+		)
+		set := nn.NewParamSet(net)
+		slab := make([]float32, rows*set.Total())
+		for i := range slab {
+			slab[i] = xorshift.IndexedNormal(0xF00D, uint64(i))
+		}
+		return set, slab
+	}
+
+	seqSet, slab := build()
+	redSet, _ := build()
+	total := seqSet.Total()
+
+	// Sequential reference: ascending per-sample accumulation, one step,
+	// one constraint application.
+	for s := 0; s < rows; s++ {
+		row := slab[s*total : (s+1)*total]
+		for i, p := range seqSet.Params() {
+			off := seqSet.Offset(i)
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] += row[off+j]
+			}
+		}
+	}
+	optim.NewSGD(0.05).Step(seqSet)
+	seqPrune := NewMagnitude(seqSet, 0.5)
+	seqPrune.Apply()
+
+	// Post-reduce path: slab reduction, one step, one application.
+	redSet.ReduceGradSlab(slab, rows)
+	optim.NewSGD(0.05).Step(redSet)
+	redPrune := NewMagnitude(redSet, 0.5)
+	redPrune.Apply()
+
+	seq, red := seqSet.Snapshot(), redSet.Snapshot()
+	for g := range seq {
+		if math.Float32bits(seq[g]) != math.Float32bits(red[g]) {
+			t.Fatalf("weight %d differs after post-reduce prune: %v vs %v", g, red[g], seq[g])
+		}
+	}
+	seqMask, redMask := seqPrune.Mask(), redPrune.Mask()
+	for g := range seqMask {
+		if seqMask[g] != redMask[g] {
+			t.Fatalf("prune mask %d differs between sequential and post-reduce paths", g)
+		}
+	}
+	if seqPrune.Zeroed() != redPrune.Zeroed() {
+		t.Fatalf("zeroed counts differ: %d vs %d", seqPrune.Zeroed(), redPrune.Zeroed())
+	}
+}

@@ -38,6 +38,16 @@ const (
 	GaugeWorkspaceBytesReused = "workspace/bytes_reused"
 )
 
+// Names for the data-parallel training executor's telemetry.
+const (
+	// GaugeTrainWorkers is the trainer's worker count (1 = sequential),
+	// exported at every epoch boundary.
+	GaugeTrainWorkers = "train/workers"
+	// CounterTrainShardSeconds accumulates per-shard wall time across all
+	// workers; divided by wall-clock step time it shows parallel efficiency.
+	CounterTrainShardSeconds = "train/shard_seconds"
+)
+
 // Phase distinguishes the two halves of a training step a layer span can
 // belong to.
 type Phase uint8

@@ -80,6 +80,21 @@ func SoftmaxRows(m *Tensor) *Tensor {
 // gradient of that loss with respect to the pre-softmax logits
 // (probs - onehot)/N. labels[i] must be in [0, C).
 func CrossEntropyFromProbs(probs *Tensor, labels []int) (loss float64, dlogits *Tensor) {
+	n := probs.Shape[0]
+	lossSum, dlogits := CrossEntropyFromProbsDenom(probs, labels, n)
+	return lossSum / float64(n), dlogits
+}
+
+// CrossEntropyFromProbsDenom is the denominator-parameterized core of
+// CrossEntropyFromProbs: it treats the given rows as part of a minibatch of
+// denom samples, returning the raw (un-averaged) negative log-likelihood sum
+// over the rows and the logit gradient (probs - onehot) scaled by
+// float32(1/float64(denom)). The data-parallel trainer calls this per shard
+// sample with the global batch size as denom, so each shard's gradient rows
+// are bit-identical to the rows the sequential full-batch path computes —
+// the op sequence per row (subtract one-hot, then multiply by the same
+// float32 reciprocal) must stay exactly in sync with the single-batch path.
+func CrossEntropyFromProbsDenom(probs *Tensor, labels []int, denom int) (lossSum float64, dlogits *Tensor) {
 	if len(probs.Shape) != 2 {
 		panic("tensor: CrossEntropyFromProbs requires a 2-D tensor")
 	}
@@ -87,20 +102,22 @@ func CrossEntropyFromProbs(probs *Tensor, labels []int) (loss float64, dlogits *
 	if len(labels) != n {
 		panic(fmt.Sprintf("tensor: %d labels for %d rows", len(labels), n))
 	}
+	if denom <= 0 {
+		panic(fmt.Sprintf("tensor: cross-entropy denominator must be positive, got %d", denom))
+	}
 	dlogits = probs.Clone()
 	const eps = 1e-12
-	invN := float32(1.0 / float64(n))
+	invN := float32(1.0 / float64(denom))
 	for i, y := range labels {
 		if y < 0 || y >= c {
 			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", y, c))
 		}
 		p := float64(probs.Data[i*c+y])
-		loss -= math.Log(p + eps)
+		lossSum -= math.Log(p + eps)
 		dlogits.Data[i*c+y] -= 1
 	}
-	loss /= float64(n)
 	ScaleInPlace(dlogits, invN)
-	return loss, dlogits
+	return lossSum, dlogits
 }
 
 // Accuracy returns the fraction of rows of logits (N, C) whose argmax equals

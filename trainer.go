@@ -173,6 +173,23 @@ type TrainConfig struct {
 	// optimizer applies the gradients. It exists as a fault-injection and
 	// testing seam (see internal/faults); production runs leave it nil.
 	GradHook func(step int, set *nn.ParamSet)
+
+	// Workers is the data-parallel training width. 0 or 1 runs the
+	// historical sequential step; W ≥ 2 splits every minibatch across W
+	// workers whose per-sample gradient rows are reduced deterministically,
+	// so results are bit-identical to Workers = 1 at any GOMAXPROCS (see
+	// DESIGN.md §8). Requires WorkerModel, and a model whose layers pass
+	// nn.CheckShardable (BatchNorm and PReLU models must train
+	// sequentially). The worker count is an execution detail: it is not
+	// recorded in checkpoints, and a run may resume under a different
+	// Workers value bit-identically.
+	Workers int
+	// WorkerModel builds one structurally identical model replica per extra
+	// worker — in practice the same constructor call that built the primary
+	// model, with the same seed. Replica parameter values are aliased to
+	// the primary's; only their gradient buffers and layer workspaces stay
+	// private. Required when Workers ≥ 2, ignored otherwise.
+	WorkerModel func() (*Model, error)
 }
 
 // Validate checks the configuration and reports the first problem. Train
@@ -220,6 +237,26 @@ func (c TrainConfig) Validate() error {
 		}
 		if c.Checkpoint.Resume && c.ResumeFrom != nil {
 			return fmt.Errorf("dropback: Checkpoint.Resume and ResumeFrom are mutually exclusive")
+		}
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("dropback: Workers must be non-negative, got %d", c.Workers)
+	}
+	if c.Workers > 1 && c.WorkerModel == nil {
+		return fmt.Errorf("dropback: Workers = %d requires a WorkerModel factory", c.Workers)
+	}
+	if c.ResumeFrom != nil {
+		// The batcher cursor must describe a position inside the captured
+		// permutation. A cursor past the end means the checkpoint was
+		// written against a larger dataset (or corrupted in storage);
+		// resuming would index past the permutation and read samples the
+		// captured run never scheduled.
+		b := c.ResumeFrom.Batcher
+		if b.Pos < 0 {
+			return fmt.Errorf("dropback: resume state batcher cursor is negative (%d)", b.Pos)
+		}
+		if b.Pos > len(b.Perm) {
+			return fmt.Errorf("dropback: resume state batcher cursor %d exceeds its %d-sample permutation — the checkpoint was captured against a larger dataset or is corrupt", b.Pos, len(b.Perm))
 		}
 	}
 	return nil
@@ -343,6 +380,24 @@ func TrainE(m *Model, train, val *Dataset, cfg TrainConfig) (*Result, error) {
 	batcher := data.NewBatcher(train, cfg.BatchSize, cfg.Seed^0xBA7C4)
 	sgd := optim.NewSGD(0)
 
+	// The data-parallel executor (Workers ≥ 2) replaces only the
+	// forward/backward half of the step; everything after the gradient
+	// reduction — GradHook, divergence checks, the optimizer, and the
+	// method constraint — runs unchanged on the primary model, once per
+	// minibatch, exactly as in the sequential path.
+	var pexec *parallelExecutor
+	if cfg.Workers > 1 {
+		var err error
+		pexec, err = newParallelExecutor(m, cfg.Workers, cfg.WorkerModel, cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stepFn := m.Step
+	if pexec != nil {
+		stepFn = pexec.Step
+	}
+
 	// Managed checkpointing: resolve the resume state before the diffusion
 	// probes baseline themselves on the (possibly restored) weights.
 	var mgr *checkpoint.Manager
@@ -370,7 +425,7 @@ func TrainE(m *Model, train, val *Dataset, cfg TrainConfig) (*Result, error) {
 	var bestBNState [][]float32
 
 	if resume != nil {
-		if err := applyResume(resume, m, batcher, sgd, db, res); err != nil {
+		if err := applyResume(resume, m, train, batcher, sgd, db, res); err != nil {
 			return nil, err
 		}
 		startEpoch = resume.Epoch
@@ -437,7 +492,7 @@ epochs:
 				stepStart = time.Now()
 			}
 			x, y := batcher.Next()
-			loss, acc := m.Step(x, y)
+			loss, acc := stepFn(x, y)
 			if cfg.GradHook != nil {
 				cfg.GradHook(step, m.Set)
 			}
@@ -546,6 +601,11 @@ epochs:
 			rec.Gauge(telemetry.GaugeWorkspaceHits, float64(wsHits))
 			rec.Gauge(telemetry.GaugeWorkspaceMisses, float64(wsMisses))
 			rec.Gauge(telemetry.GaugeWorkspaceBytesReused, float64(wsBytes))
+			workers := cfg.Workers
+			if workers < 1 {
+				workers = 1
+			}
+			rec.Gauge(telemetry.GaugeTrainWorkers, float64(workers))
 			rec.EpochDone(telemetry.EpochSample{
 				Epoch: epoch + 1, TrainLoss: es.TrainLoss, TrainAcc: es.TrainAcc,
 				ValLoss: es.ValLoss, ValAcc: es.ValAcc,
@@ -618,9 +678,20 @@ epochs:
 // applyResume restores the loop state a TrainState captures into the
 // freshly constructed training objects. The weights and batch-norm
 // statistics were already applied when the checkpoint was loaded.
-func applyResume(ts *checkpoint.TrainState, m *Model, batcher *data.Batcher, sgd *optim.SGD, db *core.DropBack, res *Result) error {
+func applyResume(ts *checkpoint.TrainState, m *Model, train *data.Dataset, batcher *data.Batcher, sgd *optim.SGD, db *core.DropBack, res *Result) error {
 	if ts.Epoch < 0 || ts.Step < 0 {
 		return fmt.Errorf("resume state has negative counters (epoch %d, step %d)", ts.Epoch, ts.Step)
+	}
+	// Validate the batcher cursor against the dataset actually being
+	// trained on, not just the captured permutation: a dataset that shrank
+	// since the checkpoint was written would otherwise replay sample
+	// indices that no longer exist (and an empty-permutation state with a
+	// non-zero cursor would silently skip the batcher restore below).
+	if ts.Batcher.Pos < 0 || ts.Batcher.Pos > len(ts.Batcher.Perm) {
+		return fmt.Errorf("resume state batcher cursor %d is outside its %d-sample permutation — checkpoint corrupt or captured against a different dataset", ts.Batcher.Pos, len(ts.Batcher.Perm))
+	}
+	if ts.Batcher.Pos > train.Len() {
+		return fmt.Errorf("resume state batcher cursor %d exceeds the dataset length %d — the dataset shrank since the checkpoint was written", ts.Batcher.Pos, train.Len())
 	}
 	if len(ts.Batcher.Perm) > 0 {
 		if err := batcher.Restore(ts.Batcher); err != nil {

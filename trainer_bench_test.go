@@ -1,0 +1,51 @@
+package dropback
+
+import (
+	"fmt"
+	"testing"
+
+	"dropback/internal/optim"
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// BenchmarkTrainStep measures one optimizer step of the MNIST-100-100 MLP
+// at batch 32 across data-parallel worker counts. Workers=1 is the
+// sequential Model.Step path; higher counts run the shard-parallel
+// executor, whose results are bit-identical (see trainer_parallel_test.go)
+// so this benchmark isolates pure execution cost. cmd/benchguard enforces
+// the allocs/op ceilings committed in BENCH_train.json.
+func BenchmarkTrainStep(b *testing.B) {
+	const batch = 32
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m := MNIST100100(1)
+			x := tensor.New(batch, 784)
+			for i := range x.Data {
+				x.Data[i] = xorshift.IndexedUniform(3, uint64(i))
+			}
+			labels := make([]int, batch)
+			for i := range labels {
+				labels[i] = i % 10
+			}
+			sgd := optim.NewSGD(0.1)
+			stepFn := m.Step
+			if workers > 1 {
+				pexec, err := newParallelExecutor(m, workers, func() (*Model, error) {
+					return MNIST100100(1), nil
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stepFn = pexec.Step
+			}
+			stepFn(x, labels) // warm the workspaces and the gradient slab
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stepFn(x, labels)
+				sgd.Step(m.Set)
+			}
+		})
+	}
+}

@@ -1,0 +1,257 @@
+package dropback
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dropback/internal/nn"
+	"dropback/internal/telemetry"
+	"dropback/internal/tensor"
+)
+
+// shardRange is one worker's contiguous span of batch rows, [Lo, Hi).
+type shardRange struct{ Lo, Hi int }
+
+// shardRanges partitions n batch rows across w workers into contiguous
+// spans: every row appears in exactly one span, spans cover 0…n−1 in
+// ascending order, and sizes differ by at most one (the first n%w spans get
+// the extra row). With w > n the trailing spans are empty.
+func shardRanges(n, w int) []shardRange {
+	if w < 1 {
+		w = 1
+	}
+	out := make([]shardRange, w)
+	base, rem := n/w, n%w
+	lo := 0
+	for i := range out {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = shardRange{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return out
+}
+
+// parallelExecutor runs one training step's forward/backward across W
+// workers, bit-identically to the sequential Model.Step. The decomposition
+// is per sample, not per shard: every kernel in this stack already
+// accumulates batch contributions in ascending sample order from a cleared
+// buffer (the matmul kernels accumulate ascending-k from clear, Linear's
+// bias loop and Conv2D's dW/dB reduction walk samples ascending), so a
+// single sample's backward pass lands exactly the partial sums the
+// full-batch pass would, and reducing per-sample gradient rows in ascending
+// sample order replays the full-batch rounding sequence bit for bit — at
+// any worker count and any GOMAXPROCS. See DESIGN.md §8 for the argument.
+//
+// Worker 0 runs the primary model on the calling goroutine; workers 1…W−1
+// run structurally identical replicas whose parameter Value tensors alias
+// the primary's (read-only during the pass; the join provides the
+// happens-before edge the post-reduction optimizer update needs).
+type parallelExecutor struct {
+	primary  *Model
+	replicas []*Model // replicas[0] == primary
+	bindings []*nn.GradBinding
+	workers  int
+	total    int // ParamSet.Total()
+
+	slab       []float32 // per-sample gradient rows, sample s at s*total
+	perLoss    []float64 // per-sample −log-likelihood contributions
+	perCorrect []uint8   // per-sample argmax-correct flags
+
+	hasRNG   bool // any stochastic (Dropout) layers to keep in sync
+	rec      telemetry.Recorder
+	shardDur []time.Duration
+}
+
+// newParallelExecutor validates the model for shard-parallel training and
+// builds workers−1 replicas with the factory. Factory models must be
+// structurally identical to the primary (same parameters, names, shapes) —
+// in practice, built by the same constructor with the same seed.
+func newParallelExecutor(m *Model, workers int, factory func() (*Model, error), rec telemetry.Recorder) (*parallelExecutor, error) {
+	if workers < 2 {
+		return nil, fmt.Errorf("dropback: parallel executor needs at least 2 workers, got %d", workers)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("dropback: Workers = %d requires a WorkerModel factory to build the %d extra replicas", workers, workers-1)
+	}
+	if err := nn.CheckShardable(m.Net); err != nil {
+		return nil, fmt.Errorf("dropback: model is not shard-parallel safe: %w", err)
+	}
+	e := &parallelExecutor{
+		primary:  m,
+		replicas: make([]*Model, workers),
+		bindings: make([]*nn.GradBinding, workers),
+		workers:  workers,
+		total:    m.Set.Total(),
+		hasRNG:   len(nn.CaptureLayerRNG(m.Net)) > 0,
+		rec:      telemetry.OrNop(rec),
+		shardDur: make([]time.Duration, workers),
+	}
+	e.replicas[0] = m
+	e.bindings[0] = nn.NewGradBinding(m.Set)
+	primaryParams := m.Set.Params()
+	for w := 1; w < workers; w++ {
+		r, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("dropback: building worker replica %d: %w", w, err)
+		}
+		if r == nil || r == m {
+			return nil, fmt.Errorf("dropback: WorkerModel must build a fresh model per call")
+		}
+		rp := r.Set.Params()
+		if len(rp) != len(primaryParams) || r.Set.Total() != e.total {
+			return nil, fmt.Errorf("dropback: worker replica %d has %d parameters (%d scalars), primary has %d (%d)",
+				w, len(rp), r.Set.Total(), len(primaryParams), e.total)
+		}
+		for i, p := range primaryParams {
+			if rp[i].Name != p.Name || !rp[i].Value.SameShape(p.Value) {
+				return nil, fmt.Errorf("dropback: worker replica %d parameter %d is %q %v, primary has %q %v",
+					w, i, rp[i].Name, rp[i].Value.Shape, p.Name, p.Value.Shape)
+			}
+			// Alias the weights: replicas read the primary's parameter
+			// values directly, so the post-reduction update is visible to
+			// every worker at the next step without any copying.
+			rp[i].Value = p.Value
+		}
+		e.replicas[w] = r
+		e.bindings[w] = nn.NewGradBinding(r.Set)
+	}
+	return e, nil
+}
+
+// Step runs one shard-parallel training step: forward/backward per sample
+// across the workers, deterministic reduction of the per-sample gradient
+// rows into the primary's gradient buffers, and the same loss/accuracy
+// reduction arithmetic as the sequential path. On return the primary model
+// holds exactly the gradients, dropout-stream positions, loss, and accuracy
+// that Model.Step would have produced.
+func (e *parallelExecutor) Step(x *tensor.Tensor, labels []int) (loss, acc float64) {
+	n := x.Shape[0]
+	if need := n * e.total; cap(e.slab) < need {
+		e.slab = make([]float32, need)
+	}
+	if cap(e.perLoss) < n {
+		e.perLoss = make([]float64, n)
+		e.perCorrect = make([]uint8, n)
+	}
+	perLoss, perCorrect := e.perLoss[:n], e.perCorrect[:n]
+
+	ranges := shardRanges(n, e.workers)
+	// Position each replica's stochastic streams where the sequential pass
+	// would be at its shard's first sample: same state as the primary, then
+	// skip the preceding samples' draws.
+	if e.hasRNG {
+		states := nn.CaptureLayerRNG(e.primary.Net)
+		for w := 1; w < e.workers; w++ {
+			if ranges[w].Lo >= ranges[w].Hi {
+				continue
+			}
+			nn.RestoreLayerRNG(e.replicas[w].Net, states)
+			nn.ArmDropoutSkip(e.replicas[w].Net, ranges[w].Lo)
+		}
+	}
+
+	timing := e.rec.Enabled()
+	var wg sync.WaitGroup
+	for w := 1; w < e.workers; w++ {
+		if ranges[w].Lo >= ranges[w].Hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var start time.Time
+			if timing {
+				start = time.Now()
+			}
+			e.runShard(w, ranges[w], x, labels, n, perLoss, perCorrect)
+			if timing {
+				e.shardDur[w] = time.Since(start)
+			}
+		}(w)
+	}
+	var start time.Time
+	if timing {
+		start = time.Now()
+	}
+	e.runShard(0, ranges[0], x, labels, n, perLoss, perCorrect)
+	if timing {
+		e.shardDur[0] = time.Since(start)
+	}
+	wg.Wait()
+
+	// The primary's streams must end where the sequential pass would: at
+	// the position after the last sample, which the last non-empty shard's
+	// replica holds.
+	if e.hasRNG {
+		last := e.workers - 1
+		for last > 0 && ranges[last].Lo >= ranges[last].Hi {
+			last--
+		}
+		if last != 0 {
+			nn.RestoreLayerRNG(e.primary.Net, nn.CaptureLayerRNG(e.replicas[last].Net))
+		}
+	}
+
+	// Deterministic reduction, ascending sample order per element — the
+	// exact zero-then-accumulate sequence of the sequential backward pass.
+	e.primary.Set.ZeroGrads()
+	e.primary.Set.ReduceGradSlab(e.slab, n)
+
+	// Loss: the sequential path folds −log(p_s+ε) into a float64 ascending
+	// s and divides once; perLoss already holds each sample's −log term, so
+	// this loop replays the identical float64 operation sequence.
+	for s := 0; s < n; s++ {
+		loss += perLoss[s]
+	}
+	loss /= float64(n)
+	correct := 0
+	for s := 0; s < n; s++ {
+		correct += int(perCorrect[s])
+	}
+	acc = float64(correct) / float64(n)
+
+	if timing {
+		for w := 0; w < e.workers; w++ {
+			if ranges[w].Lo < ranges[w].Hi {
+				e.rec.Counter(telemetry.CounterTrainShardSeconds, e.shardDur[w].Seconds())
+			}
+		}
+	}
+	return loss, acc
+}
+
+// runShard processes rows [r.Lo, r.Hi) on worker w's replica: one
+// forward/backward per sample into that sample's gradient slab row.
+func (e *parallelExecutor) runShard(w int, r shardRange, x *tensor.Tensor, labels []int, batch int, perLoss []float64, perCorrect []uint8) {
+	if r.Lo >= r.Hi {
+		return
+	}
+	m, bind := e.replicas[w], e.bindings[w]
+	rowLen := x.Len() / batch
+	shape := append([]int{1}, x.Shape[1:]...)
+	for s := r.Lo; s < r.Hi; s++ {
+		row := e.slab[s*e.total : (s+1)*e.total]
+		clear(row)
+		bind.Bind(row)
+		xs := tensor.FromSlice(x.Data[s*rowLen:(s+1)*rowLen], shape...)
+		logits := m.Net.Forward(xs, true)
+		probs := tensor.SoftmaxRows(logits)
+		// The global batch size is the denominator, so this row's dlogits
+		// and −log term are bit-identical to the full-batch pass's row s.
+		lossSum, dlogits := tensor.CrossEntropyFromProbsDenom(probs, labels[s:s+1], batch)
+		perLoss[s] = lossSum
+		if tensor.ArgmaxRows(logits)[0] == labels[s] {
+			perCorrect[s] = 1
+		} else {
+			perCorrect[s] = 0
+		}
+		m.Net.Backward(dlogits)
+	}
+	if w == 0 {
+		bind.Unbind()
+	}
+}
