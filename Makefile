@@ -3,9 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-telemetry serve-smoke clean
+.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-parallel bench-telemetry cover serve-smoke clean
 
-check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train serve-smoke
+# bench-parallel is intentionally NOT part of check: it asserts the W=4
+# executor beats W=1 on wall time, which needs >= 4 real cores — run it
+# explicitly on multi-core hardware (CI's bench-parallel job does).
+check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train cover serve-smoke
 
 build:
 	$(GO) build ./...
@@ -57,11 +60,26 @@ bench-guard-serve:
 	$(GO) run ./cmd/benchguard -baseline BENCH_serve.json -input bench_serve.out
 
 # Training-step gate: BenchmarkTrainStep (sequential + shard-parallel
-# executor) must stay under the allocs/op ceilings in BENCH_train.json.
+# executor) must stay under the allocs/op ceilings and within max_ns_ratio
+# of the ns/op baselines in BENCH_train.json.
 bench-guard-train:
 	$(GO) test -bench BenchmarkTrainStep -benchmem -benchtime 20x \
 		-run '^$$' . > bench_train.out
 	$(GO) run ./cmd/benchguard -baseline BENCH_train.json -input bench_train.out
+
+# Multi-core speedup gate (mirrors CI's bench-parallel job): at
+# GOMAXPROCS=4 the batched shard executor at W=4 must beat the sequential
+# W=1 path on wall time. Requires >= 4 real cores — meaningless (and
+# failing) on smaller machines, so it is not part of `make check`.
+bench-parallel:
+	GOMAXPROCS=4 $(GO) test -bench BenchmarkTrainStep -benchmem -benchtime 20x \
+		-run '^$$' . > bench_parallel.out
+	$(GO) run ./cmd/benchguard -baseline '' -input bench_parallel.out \
+		-assert-faster 'BenchmarkTrainStep/workers=4<BenchmarkTrainStep/workers=1'
+
+# Repo-wide statement coverage vs the committed floor (warn-only).
+cover:
+	./scripts/coverage_check.sh
 
 # End-to-end serving smoke: train -> export artifact -> dropback-serve ->
 # HTTP predict round trip -> graceful SIGTERM drain.
@@ -77,4 +95,4 @@ bench-telemetry:
 		-bench-out BENCH_telemetry.json
 
 clean:
-	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out bench_train.out cpu.pprof heap.pprof
+	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out bench_train.out bench_parallel.out cpu.pprof heap.pprof

@@ -1,9 +1,15 @@
-// Command benchguard gates CI on allocation regressions in the kernel
+// Command benchguard gates CI on performance regressions in the Go
 // benchmarks. It parses `go test -bench -benchmem` output, strips the
-// -GOMAXPROCS suffix from benchmark names, and compares each benchmark's
-// allocs/op against the ceilings committed in a baseline JSON file
-// (BENCH_kernels.json). Any benchmark above its ceiling — or any guarded
-// benchmark missing from the input — fails the run.
+// -GOMAXPROCS suffix from benchmark names, and checks each benchmark
+// against a committed baseline JSON file (BENCH_kernels.json,
+// BENCH_train.json):
+//
+//   - allocs/op must not exceed the committed ceiling (max_allocs_per_op);
+//   - ns/op must not exceed the committed baseline (baseline_ns_per_op)
+//     by more than the max_ns_ratio factor — a relative gate, so it
+//     tolerates hardware differences between the baseline machine and CI
+//     runners while still catching order-of-magnitude regressions;
+//   - any guarded benchmark missing from the input fails the run.
 //
 // Usage:
 //
@@ -11,9 +17,19 @@
 //	    -benchmem -benchtime 10x -run '^$' . > bench_guard.out
 //	go run ./cmd/benchguard -baseline BENCH_kernels.json -input bench_guard.out
 //
-// Pass -update to rewrite the baseline ceilings from the observed values
-// (observed × 2 + 16, leaving headroom for multi-core goroutine-spawn
-// allocations) instead of checking.
+// Pass -update to rewrite the baseline from the observed values instead of
+// checking: alloc ceilings become observed × 2 + 16 (headroom for
+// multi-core goroutine-spawn allocations) and ns baselines become the
+// observed ns/op.
+//
+// Pass -assert-faster 'A<B' to additionally require that benchmark A's
+// ns/op is strictly below benchmark B's — the multi-core CI job uses
+//
+//	go run ./cmd/benchguard -baseline '' -input bench.out \
+//	    -assert-faster 'BenchmarkTrainStep/workers=4<BenchmarkTrainStep/workers=1'
+//
+// with an empty -baseline, which skips the baseline checks entirely and
+// applies only the assertion.
 package main
 
 import (
@@ -28,12 +44,15 @@ import (
 	"strings"
 )
 
-// baseline mirrors BENCH_kernels.json. History is opaque to the guard — it
-// records before/after measurements for humans and is preserved on -update.
+// baseline mirrors the BENCH_*.json files. History is opaque to the guard —
+// it records before/after measurements for humans and is preserved on
+// -update.
 type baseline struct {
-	Description string          `json:"description"`
-	History     json.RawMessage `json:"history,omitempty"`
-	MaxAllocs   map[string]int  `json:"max_allocs_per_op"`
+	Description string             `json:"description"`
+	History     json.RawMessage    `json:"history,omitempty"`
+	MaxAllocs   map[string]int     `json:"max_allocs_per_op"`
+	MaxNsRatio  float64            `json:"max_ns_ratio,omitempty"`
+	BaselineNs  map[string]float64 `json:"baseline_ns_per_op,omitempty"`
 }
 
 // result is one parsed benchmark line.
@@ -43,19 +62,11 @@ type result struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_kernels.json", "baseline JSON with max_allocs_per_op ceilings")
+	baselinePath := flag.String("baseline", "BENCH_kernels.json", "baseline JSON with ceilings ('' to skip baseline checks)")
 	inputPath := flag.String("input", "-", "benchmark output to check ('-' for stdin)")
 	update := flag.Bool("update", false, "rewrite baseline ceilings from observed values instead of checking")
+	assertFaster := flag.String("assert-faster", "", "assertion 'A<B': benchmark A's ns/op must be below benchmark B's")
 	flag.Parse()
-
-	raw, err := os.ReadFile(*baselinePath)
-	if err != nil {
-		fatalf("read baseline: %v", err)
-	}
-	var base baseline
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fatalf("parse baseline %s: %v", *baselinePath, err)
-	}
 
 	var in io.Reader = os.Stdin
 	if *inputPath != "-" {
@@ -74,50 +85,133 @@ func main() {
 		fatalf("no benchmark lines found in input")
 	}
 
-	if *update {
-		for name, r := range results {
-			if _, guarded := base.MaxAllocs[name]; guarded {
-				base.MaxAllocs[name] = r.AllocsPerOp*2 + 16
-			}
+	if *baselinePath == "" {
+		if *assertFaster == "" {
+			fatalf("empty -baseline requires -assert-faster (nothing to check)")
 		}
-		out, err := json.MarshalIndent(&base, "", "  ")
+	} else {
+		raw, err := os.ReadFile(*baselinePath)
 		if err != nil {
-			fatalf("encode baseline: %v", err)
+			fatalf("read baseline: %v", err)
 		}
-		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
-			fatalf("write baseline: %v", err)
+		var base baseline
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fatalf("parse baseline %s: %v", *baselinePath, err)
 		}
-		fmt.Printf("benchguard: updated %d ceilings in %s\n", len(results), *baselinePath)
-		return
+
+		if *update {
+			updateBaseline(&base, results)
+			out, err := json.MarshalIndent(&base, "", "  ")
+			if err != nil {
+				fatalf("encode baseline: %v", err)
+			}
+			if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+				fatalf("write baseline: %v", err)
+			}
+			fmt.Printf("benchguard: updated %d ceilings in %s\n", len(results), *baselinePath)
+			return
+		}
+
+		lines, failures := check(&base, results)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchguard: %s\n", f)
+			}
+			os.Exit(1)
+		}
 	}
 
-	names := make([]string, 0, len(base.MaxAllocs))
-	for name := range base.MaxAllocs {
-		names = append(names, name)
+	if *assertFaster != "" {
+		if err := checkFaster(*assertFaster, results); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("benchguard: assertion %q holds\n", *assertFaster)
 	}
-	sort.Strings(names)
-	var failures []string
-	for _, name := range names {
-		ceiling := base.MaxAllocs[name]
+}
+
+// check runs the alloc-ceiling and ns-ratio gates and returns human-readable
+// status lines plus the list of failures (empty when everything passes).
+func check(base *baseline, results map[string]result) (lines, failures []string) {
+	names := make(map[string]bool, len(base.MaxAllocs)+len(base.BaselineNs))
+	for name := range base.MaxAllocs {
+		names[name] = true
+	}
+	for name := range base.BaselineNs {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
 		r, ok := results[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: guarded benchmark missing from input", name))
 			continue
 		}
 		status := "ok"
-		if r.AllocsPerOp > ceiling {
+		if ceiling, guarded := base.MaxAllocs[name]; guarded && r.AllocsPerOp > ceiling {
 			status = "FAIL"
 			failures = append(failures, fmt.Sprintf("%s: %d allocs/op exceeds ceiling %d", name, r.AllocsPerOp, ceiling))
 		}
-		fmt.Printf("benchguard: %-40s %8d allocs/op (ceiling %d) %10.0f ns/op  %s\n",
-			name, r.AllocsPerOp, ceiling, r.NsPerOp, status)
-	}
-	if len(failures) > 0 {
-		for _, f := range failures {
-			fmt.Fprintf(os.Stderr, "benchguard: %s\n", f)
+		if baseNs, guarded := base.BaselineNs[name]; guarded && base.MaxNsRatio > 0 {
+			if limit := baseNs * base.MaxNsRatio; r.NsPerOp > limit {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds %.0f (baseline %.0f × ratio %.2f)",
+					name, r.NsPerOp, limit, baseNs, base.MaxNsRatio))
+			}
 		}
-		os.Exit(1)
+		lines = append(lines, fmt.Sprintf("benchguard: %-40s %8d allocs/op (ceiling %d) %10.0f ns/op  %s",
+			name, r.AllocsPerOp, allocCeiling(base, name), r.NsPerOp, status))
 	}
+	return lines, failures
+}
+
+func allocCeiling(base *baseline, name string) int {
+	if c, ok := base.MaxAllocs[name]; ok {
+		return c
+	}
+	return -1
+}
+
+// updateBaseline rewrites every guarded entry from the observed results:
+// alloc ceilings get 2× + 16 headroom, ns baselines record the raw
+// observation (the ratio gate supplies the headroom there).
+func updateBaseline(base *baseline, results map[string]result) {
+	for name, r := range results {
+		if _, guarded := base.MaxAllocs[name]; guarded {
+			base.MaxAllocs[name] = r.AllocsPerOp*2 + 16
+		}
+		if _, guarded := base.BaselineNs[name]; guarded {
+			base.BaselineNs[name] = r.NsPerOp
+		}
+	}
+}
+
+// checkFaster enforces an 'A<B' ns/op ordering assertion against the parsed
+// results.
+func checkFaster(assertion string, results map[string]result) error {
+	fast, slow, ok := strings.Cut(assertion, "<")
+	if !ok || fast == "" || slow == "" {
+		return fmt.Errorf("bad -assert-faster %q: want 'BenchmarkA<BenchmarkB'", assertion)
+	}
+	rf, okf := results[fast]
+	rs, oks := results[slow]
+	if !okf {
+		return fmt.Errorf("assert-faster: benchmark %q missing from input", fast)
+	}
+	if !oks {
+		return fmt.Errorf("assert-faster: benchmark %q missing from input", slow)
+	}
+	if rf.NsPerOp >= rs.NsPerOp {
+		return fmt.Errorf("assert-faster: %s at %.0f ns/op is not faster than %s at %.0f ns/op",
+			fast, rf.NsPerOp, slow, rs.NsPerOp)
+	}
+	return nil
 }
 
 // parseBench extracts (name → result) from go test -bench -benchmem output.

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: dropback
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTrainStep/workers=1         	      10	   4731490 ns/op	   33616 B/op	      43 allocs/op
+BenchmarkTrainStep/workers=2-4       	      10	   2938770 ns/op	   29544 B/op	      63 allocs/op
+BenchmarkTrainStep/workers=4-4       	      10	   1801659 ns/op	   30760 B/op	     121 allocs/op
+BenchmarkMatMul-4                    	     100	     91234 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	dropback	0.320s
+`
+
+func parseSample(t *testing.T) map[string]result {
+	t.Helper()
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestParseBenchStripsProcsSuffix(t *testing.T) {
+	results := parseSample(t)
+	want := map[string]result{
+		"BenchmarkTrainStep/workers=1": {NsPerOp: 4731490, AllocsPerOp: 43},
+		"BenchmarkTrainStep/workers=2": {NsPerOp: 2938770, AllocsPerOp: 63},
+		"BenchmarkTrainStep/workers=4": {NsPerOp: 1801659, AllocsPerOp: 121},
+		"BenchmarkMatMul":              {NsPerOp: 91234, AllocsPerOp: 0},
+	}
+	if len(results) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(results), len(want), results)
+	}
+	for name, w := range want {
+		got, ok := results[name]
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		if got != w {
+			t.Fatalf("%s: got %+v, want %+v", name, got, w)
+		}
+	}
+}
+
+func TestStripProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-4":           "BenchmarkFoo",
+		"BenchmarkFoo-16":          "BenchmarkFoo",
+		"BenchmarkFoo":             "BenchmarkFoo",
+		"BenchmarkFoo/sub=2-8":     "BenchmarkFoo/sub=2",
+		"BenchmarkFoo/batch=1":     "BenchmarkFoo/batch=1",
+		"BenchmarkFoo-bar":         "BenchmarkFoo-bar",
+		"BenchmarkFoo-":            "BenchmarkFoo-",
+		"BenchmarkFoo/workers=1-2": "BenchmarkFoo/workers=1",
+	}
+	for in, want := range cases {
+		if got := stripProcsSuffix(in); got != want {
+			t.Errorf("stripProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckAllocCeiling(t *testing.T) {
+	results := parseSample(t)
+	base := &baseline{MaxAllocs: map[string]int{
+		"BenchmarkTrainStep/workers=1": 98,
+		"BenchmarkTrainStep/workers=4": 120, // observed 121 → must fail
+	}}
+	_, failures := check(base, results)
+	if len(failures) != 1 || !strings.Contains(failures[0], "121 allocs/op exceeds ceiling 120") {
+		t.Fatalf("want one alloc-ceiling failure, got %v", failures)
+	}
+	base.MaxAllocs["BenchmarkTrainStep/workers=4"] = 121
+	if _, failures := check(base, results); len(failures) != 0 {
+		t.Fatalf("want pass at exact ceiling, got %v", failures)
+	}
+}
+
+// TestCheckNsRegression is the acceptance check for the ns/op gate: an
+// injected regression beyond max_ns_ratio must fail the guard, while
+// observations within the ratio must pass.
+func TestCheckNsRegression(t *testing.T) {
+	results := parseSample(t)
+	base := &baseline{
+		MaxNsRatio: 1.5,
+		BaselineNs: map[string]float64{
+			// Observed 4731490 ns/op against a 3000000 baseline: ratio
+			// ~1.58 > 1.5, an injected regression the gate must catch.
+			"BenchmarkTrainStep/workers=1": 3000000,
+		},
+	}
+	_, failures := check(base, results)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op exceeds") {
+		t.Fatalf("want one ns-regression failure, got %v", failures)
+	}
+
+	// Within the ratio (observed/baseline ≈ 1.18): passes.
+	base.BaselineNs["BenchmarkTrainStep/workers=1"] = 4000000
+	if _, failures := check(base, results); len(failures) != 0 {
+		t.Fatalf("want pass within ratio, got %v", failures)
+	}
+
+	// No ratio configured: ns baselines are informational only.
+	base.MaxNsRatio = 0
+	base.BaselineNs["BenchmarkTrainStep/workers=1"] = 1
+	if _, failures := check(base, results); len(failures) != 0 {
+		t.Fatalf("want pass with ratio unset, got %v", failures)
+	}
+}
+
+func TestCheckMissingGuardedBenchmark(t *testing.T) {
+	results := parseSample(t)
+	base := &baseline{MaxAllocs: map[string]int{"BenchmarkAbsent": 10}}
+	_, failures := check(base, results)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from input") {
+		t.Fatalf("want missing-benchmark failure, got %v", failures)
+	}
+	base = &baseline{MaxNsRatio: 1.5, BaselineNs: map[string]float64{"BenchmarkAbsent": 100}}
+	_, failures = check(base, results)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from input") {
+		t.Fatalf("want missing-benchmark failure for ns-only guard, got %v", failures)
+	}
+}
+
+func TestCheckFaster(t *testing.T) {
+	results := parseSample(t)
+	if err := checkFaster("BenchmarkTrainStep/workers=4<BenchmarkTrainStep/workers=1", results); err != nil {
+		t.Fatalf("true assertion failed: %v", err)
+	}
+	if err := checkFaster("BenchmarkTrainStep/workers=1<BenchmarkTrainStep/workers=4", results); err == nil {
+		t.Fatal("false assertion passed")
+	}
+	if err := checkFaster("BenchmarkNope<BenchmarkTrainStep/workers=1", results); err == nil {
+		t.Fatal("assertion with missing benchmark passed")
+	}
+	if err := checkFaster("no-less-than-sign", results); err == nil {
+		t.Fatal("malformed assertion accepted")
+	}
+}
+
+func TestUpdateBaseline(t *testing.T) {
+	results := parseSample(t)
+	base := &baseline{
+		MaxAllocs:  map[string]int{"BenchmarkTrainStep/workers=1": 1, "BenchmarkUnrelated": 5},
+		BaselineNs: map[string]float64{"BenchmarkTrainStep/workers=1": 1},
+	}
+	updateBaseline(base, results)
+	if got := base.MaxAllocs["BenchmarkTrainStep/workers=1"]; got != 43*2+16 {
+		t.Fatalf("alloc ceiling = %d, want %d", got, 43*2+16)
+	}
+	if got := base.MaxAllocs["BenchmarkUnrelated"]; got != 5 {
+		t.Fatalf("unobserved ceiling rewritten to %d", got)
+	}
+	if got := base.BaselineNs["BenchmarkTrainStep/workers=1"]; got != 4731490 {
+		t.Fatalf("ns baseline = %v, want 4731490", got)
+	}
+}

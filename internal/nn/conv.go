@@ -120,11 +120,19 @@ func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	wm := l.W.Value.Data
 	// Per-sample dW/dB partials and the input-gradient slab are fully
 	// overwritten (Col2ImSlice zeroes its region), so raw reuse is safe.
+	// Under slab emission (ParamSet.BindSampleSlab) the partials go straight
+	// to each sample's global slab row instead of a layer-private buffer —
+	// the values are identical either way; only who performs the ascending
+	// reduction changes (the trainer's ReduceGradSlab instead of the loop at
+	// the bottom of this function).
+	slabMode := l.W.SlabBound()
 	dx := l.ws.GetRaw("dx", l.inShape...)
-	dwPart := l.ws.GetRaw("dwpart", n, wSize)
-	var dbPart *tensor.Tensor
-	if l.useBias {
-		dbPart = l.ws.GetRaw("dbpart", n, l.OutC)
+	var dwPart, dbPart *tensor.Tensor
+	if !slabMode {
+		dwPart = l.ws.GetRaw("dwpart", n, wSize)
+		if l.useBias {
+			dbPart = l.ws.GetRaw("dbpart", n, l.OutC)
+		}
 	}
 	// Each worker chunk owns one dcols scratch; chunk count varies with
 	// GOMAXPROCS but chunk-local scratch never influences the reduction
@@ -136,17 +144,29 @@ func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		for i := lo; i < hi; i++ {
 			dyI := dy.Data[i*perSample : (i+1)*perSample]
 			colsI := l.cols.Data[i*colSize : (i+1)*colSize]
-			// dW_i = dy_i @ cols_iᵀ, into this sample's private partial.
-			tensor.MatMulTransBSlice(dwPart.Data[i*wSize:(i+1)*wSize], dyI, colsI,
-				l.OutC, spatial, colRows)
-			if dbPart != nil {
+			// dW_i = dy_i @ cols_iᵀ, into this sample's private partial (its
+			// global slab row under slab emission).
+			var dwDst []float32
+			if slabMode {
+				dwDst = l.W.SampleGrad(i)
+			} else {
+				dwDst = dwPart.Data[i*wSize : (i+1)*wSize]
+			}
+			tensor.MatMulTransBSlice(dwDst, dyI, colsI, l.OutC, spatial, colRows)
+			if l.useBias {
+				var db []float32
+				if slabMode {
+					db = l.B.SampleGrad(i)
+				} else {
+					db = dbPart.Data[i*l.OutC : (i+1)*l.OutC]
+				}
 				for f := 0; f < l.OutC; f++ {
 					var s float64
 					row := dyI[f*spatial : (f+1)*spatial]
 					for _, v := range row {
 						s += float64(v)
 					}
-					dbPart.Data[i*l.OutC+f] = float32(s)
+					db[f] = float32(s)
 				}
 			}
 			// dcols = Wᵀ @ dy_i, then scatter back to this sample's image.
@@ -155,6 +175,9 @@ func (l *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 				l.InC, h, w, l.KH, l.KW, l.Stride, l.Pad)
 		}
 	})
+	if slabMode {
+		return dx
+	}
 	// Deterministic reduction: accumulate the per-sample partials into the
 	// shared gradients in ascending sample order, exactly as the sequential
 	// reference does.

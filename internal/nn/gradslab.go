@@ -57,6 +57,52 @@ func (b *GradBinding) Unbind() {
 	}
 }
 
+// BindSampleSlab arms per-sample slab emission on every parameter of the
+// set: until UnbindSampleSlab, each slab-aware layer's Backward writes
+// sample s's parameter-gradient partial into row base+s of slab (rows of
+// ParamSet.Total() scalars in global index order — the same layout
+// GradBinding and ReduceGradSlab use) instead of accumulating into
+// Param.Grad.
+//
+// This is the batched-shard counterpart of GradBinding's per-sample
+// rebinding: a shard worker binds once with its first global sample index
+// as base, runs ONE batched forward/backward over its contiguous
+// sub-batch, and every parameter layer scatters per-sample partials to the
+// right global rows. Emission fully overwrites each (sample, parameter)
+// segment, so rows need not be cleared beforehand; the trainer's ascending
+// ReduceGradSlab then replays the sequential accumulation exactly (see
+// DESIGN.md §8).
+//
+// Every parameter-carrying layer certified by CheckShardable (Linear,
+// Conv2D) implements emission; arming a set containing a parameter whose
+// layer does not would silently leave stale slab rows, which is why
+// CheckShardable's whitelist is also the slab-emission contract.
+func (ps *ParamSet) BindSampleSlab(slab []float32, base int) {
+	if ps.total == 0 {
+		return
+	}
+	if len(slab)%ps.total != 0 {
+		panic(fmt.Sprintf("nn: sample slab holds %d scalars, not a multiple of the %d-scalar row", len(slab), ps.total))
+	}
+	if base < 0 || base*ps.total > len(slab) {
+		panic(fmt.Sprintf("nn: sample slab base row %d outside the %d-row slab", base, len(slab)/ps.total))
+	}
+	rows := slab[base*ps.total:]
+	for i, p := range ps.params {
+		p.slabRows = rows
+		p.slabStride = ps.total
+		p.slabOff = ps.offsets[i]
+	}
+}
+
+// UnbindSampleSlab disarms per-sample slab emission, returning every layer
+// to ordinary in-place gradient accumulation.
+func (ps *ParamSet) UnbindSampleSlab() {
+	for _, p := range ps.params {
+		p.slabRows = nil
+	}
+}
+
 // ReduceGradSlab folds per-sample gradient rows into the set's gradient
 // buffers: grad[j] += slab[s*P+j] for s = 0…rows−1, strictly ascending per
 // element. The element range is fanned out across ParallelChunks workers,
@@ -84,11 +130,13 @@ func (ps *ParamSet) ReduceGradSlab(slab []float32, rows int) {
 }
 
 // CheckShardable reports whether every layer reachable from root is safe
-// for per-sample shard-parallel training: a layer qualifies only if its
-// forward pass treats batch rows independently and its backward pass
-// accumulates parameter gradients as a per-sample sum in ascending sample
-// order (so per-sample micro-batches reduce bit-identically to the
-// full-batch pass). The check is a conservative whitelist — an unknown
+// for shard-parallel training: a layer qualifies only if its forward pass
+// treats batch rows independently and its backward pass accumulates
+// parameter gradients as a per-sample sum in ascending sample order (so
+// per-sample partials reduce bit-identically to the full-batch pass), and —
+// for parameter-carrying layers — it implements per-sample slab emission
+// (BindSampleSlab) so a batched sub-batch pass can scatter partials to
+// global slab rows. The check is a conservative whitelist — an unknown
 // layer type is rejected rather than assumed safe.
 //
 // Known-unsafe layers: BatchNorm computes training-mode statistics over the

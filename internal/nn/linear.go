@@ -66,6 +66,33 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: linear %q Backward before Forward", l.name))
 	}
 	n := dy.Shape[0]
+	if l.W.SlabBound() {
+		// Per-sample slab emission (ParamSet.BindSampleSlab): sample s's
+		// weight partial dW_s = dy_sᵀ x_s lands in its own slab row,
+		// computed by the same k=1 kernel a batch-1 backward runs — so the
+		// trainer's ascending-sample reduction replays the full-batch
+		// MatMulTransA accumulation (ascending k from a cleared buffer) bit
+		// for bit. Each bias row is sample s's dy row folded into a zeroed
+		// accumulator (0 + v, not a copy: dy can carry −0.0, which the
+		// sequential accumulate-from-cleared-buffer path normalizes to
+		// +0.0 — the explicit add keeps the slab byte-equal to a per-sample
+		// loop). Samples own disjoint rows, so emission fans out across
+		// goroutines freely.
+		tensor.ParallelChunks(n, n*l.Out*l.In, func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				dyRow := dy.Data[s*l.Out : (s+1)*l.Out]
+				tensor.MatMulTransASlice(l.W.SampleGrad(s), dyRow,
+					l.x.Data[s*l.In:(s+1)*l.In], 1, l.Out, l.In)
+				if l.useBia {
+					bg := l.B.SampleGrad(s)
+					for j, v := range dyRow {
+						bg[j] = 0 + v
+					}
+				}
+			}
+		})
+		return tensor.MatMulInto(l.ws.GetRaw("dx", n, l.In), dy, l.W.Value)
+	}
 	// dW = dyᵀ @ x into a reusable scratch, then accumulate — no fresh
 	// gradient tensor per step.
 	dW := l.ws.GetRaw("dw", l.Out, l.In)

@@ -31,6 +31,28 @@ type Param struct {
 	Grad  *tensor.Tensor
 	// Init regenerates initialization values by flat element index.
 	Init xorshift.Init
+
+	// Per-sample slab-emission state, armed by ParamSet.BindSampleSlab:
+	// while slabRows is non-nil, slab-aware layers write sample s's
+	// parameter-gradient partial into SampleGrad(s) instead of accumulating
+	// into Grad. slabRows is already offset to the sub-batch's first sample;
+	// slabOff is this parameter's offset within a row of slabStride scalars.
+	slabRows   []float32
+	slabStride int
+	slabOff    int
+}
+
+// SlabBound reports whether per-sample slab emission is armed (see
+// ParamSet.BindSampleSlab). Layers with parameters consult it in Backward
+// to pick between in-place gradient accumulation and per-sample emission.
+func (p *Param) SlabBound() bool { return p.slabRows != nil }
+
+// SampleGrad returns the slab segment that must receive local sample s's
+// gradient partial for this parameter: Len() scalars that the layer fully
+// overwrites. Only valid while SlabBound.
+func (p *Param) SampleGrad(s int) []float32 {
+	off := s*p.slabStride + p.slabOff
+	return p.slabRows[off : off+p.Len()]
 }
 
 // NewParam builds a parameter of the given shape, initialized by kind/scale

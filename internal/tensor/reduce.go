@@ -50,8 +50,21 @@ func SoftmaxRows(m *Tensor) *Tensor {
 	if len(m.Shape) != 2 {
 		panic("tensor: SoftmaxRows requires a 2-D tensor")
 	}
+	return SoftmaxRowsInto(New(m.Shape[0], m.Shape[1]), m)
+}
+
+// SoftmaxRowsInto computes the row-wise softmax of m into the caller-owned
+// (N, C) tensor out — the same arithmetic as SoftmaxRows, with no
+// allocation. out is fully overwritten and may alias m (each element is
+// read before its slot is written). Returns out.
+func SoftmaxRowsInto(out, m *Tensor) *Tensor {
+	if len(m.Shape) != 2 {
+		panic("tensor: SoftmaxRowsInto requires a 2-D tensor")
+	}
 	n, c := m.Shape[0], m.Shape[1]
-	out := New(n, c)
+	if len(out.Shape) != 2 || out.Shape[0] != n || out.Shape[1] != c {
+		panic(fmt.Sprintf("tensor: SoftmaxRowsInto destination shape %v, want (%d,%d)", out.Shape, n, c))
+	}
 	for i := 0; i < n; i++ {
 		row := m.Data[i*c : (i+1)*c]
 		orow := out.Data[i*c : (i+1)*c]
@@ -90,22 +103,45 @@ func CrossEntropyFromProbs(probs *Tensor, labels []int) (loss float64, dlogits *
 // denom samples, returning the raw (un-averaged) negative log-likelihood sum
 // over the rows and the logit gradient (probs - onehot) scaled by
 // float32(1/float64(denom)). The data-parallel trainer calls this per shard
-// sample with the global batch size as denom, so each shard's gradient rows
-// are bit-identical to the rows the sequential full-batch path computes —
-// the op sequence per row (subtract one-hot, then multiply by the same
-// float32 reciprocal) must stay exactly in sync with the single-batch path.
+// with the global batch size as denom, so each shard's gradient rows are
+// bit-identical to the rows the sequential full-batch path computes — the
+// op sequence per row (subtract one-hot, then multiply by the same float32
+// reciprocal) must stay exactly in sync with the single-batch path.
 func CrossEntropyFromProbsDenom(probs *Tensor, labels []int, denom int) (lossSum float64, dlogits *Tensor) {
 	if len(probs.Shape) != 2 {
 		panic("tensor: CrossEntropyFromProbs requires a 2-D tensor")
 	}
+	dlogits = New(probs.Shape[0], probs.Shape[1])
+	lossSum = CrossEntropyFromProbsDenomInto(dlogits, nil, probs, labels, denom)
+	return lossSum, dlogits
+}
+
+// CrossEntropyFromProbsDenomInto is the allocation-free core shared by
+// CrossEntropyFromProbsDenom and the shard-parallel trainer: the logit
+// gradient is written into the caller-owned dst (fully overwritten, same
+// shape as probs), and — when perLoss is non-nil (length N) — each row's raw
+// −log(p+ε) term is recorded so a caller can re-fold per-sample terms in
+// any grouping. The returned lossSum folds the same terms in ascending row
+// order, replaying the sequential accumulation exactly (x − a and
+// x + (−a) are the same IEEE operation).
+func CrossEntropyFromProbsDenomInto(dst *Tensor, perLoss []float64, probs *Tensor, labels []int, denom int) (lossSum float64) {
+	if len(probs.Shape) != 2 {
+		panic("tensor: CrossEntropyFromProbsDenomInto requires a 2-D tensor")
+	}
 	n, c := probs.Shape[0], probs.Shape[1]
+	if len(dst.Shape) != 2 || dst.Shape[0] != n || dst.Shape[1] != c {
+		panic(fmt.Sprintf("tensor: CrossEntropyFromProbsDenomInto destination shape %v, want (%d,%d)", dst.Shape, n, c))
+	}
 	if len(labels) != n {
 		panic(fmt.Sprintf("tensor: %d labels for %d rows", len(labels), n))
+	}
+	if perLoss != nil && len(perLoss) != n {
+		panic(fmt.Sprintf("tensor: %d per-sample loss slots for %d rows", len(perLoss), n))
 	}
 	if denom <= 0 {
 		panic(fmt.Sprintf("tensor: cross-entropy denominator must be positive, got %d", denom))
 	}
-	dlogits = probs.Clone()
+	copy(dst.Data, probs.Data)
 	const eps = 1e-12
 	invN := float32(1.0 / float64(denom))
 	for i, y := range labels {
@@ -113,11 +149,15 @@ func CrossEntropyFromProbsDenom(probs *Tensor, labels []int, denom int) (lossSum
 			panic(fmt.Sprintf("tensor: label %d out of range [0,%d)", y, c))
 		}
 		p := float64(probs.Data[i*c+y])
-		lossSum -= math.Log(p + eps)
-		dlogits.Data[i*c+y] -= 1
+		t := -math.Log(p + eps)
+		if perLoss != nil {
+			perLoss[i] = t
+		}
+		lossSum += t
+		dst.Data[i*c+y] -= 1
 	}
-	ScaleInPlace(dlogits, invN)
-	return lossSum, dlogits
+	ScaleInPlace(dst, invN)
+	return lossSum
 }
 
 // Accuracy returns the fraction of rows of logits (N, C) whose argmax equals

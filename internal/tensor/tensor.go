@@ -16,9 +16,11 @@ import (
 )
 
 // Tensor is a dense row-major float32 array. Data always has exactly
-// prod(Shape) elements and is contiguous; views are not supported (clones
-// are cheap at the scales this stack targets and keep aliasing rules
-// trivial).
+// prod(Shape) elements and is contiguous. General views are not supported
+// (clones are cheap at the scales this stack targets and keep aliasing
+// rules trivial); the one sanctioned exception is ViewRowsInto, which
+// borrows a contiguous span of leading-axis rows for the shard-parallel
+// trainer's sub-batch passes.
 type Tensor struct {
 	Shape []int
 	Data  []float32
@@ -55,6 +57,30 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 	s := make([]int, len(shape))
 	copy(s, shape)
 	return &Tensor{Shape: s, Data: data}
+}
+
+// ViewRowsInto points dst at rows [lo, hi) of src's leading axis without
+// copying: dst borrows src's backing array (capacity-clamped so an append
+// cannot scribble past the view) and takes src's shape with the leading
+// dimension replaced by hi−lo. The shard-parallel trainer keeps one dst
+// header per worker and re-aims it each step, so steady-state sub-batch
+// views never touch the allocator. The view is only valid while src's
+// backing array is; writes through the view are writes to src.
+func ViewRowsInto(dst, src *Tensor, lo, hi int) *Tensor {
+	if len(src.Shape) == 0 {
+		panic("tensor: ViewRowsInto requires a non-scalar source")
+	}
+	if lo < 0 || hi < lo || hi > src.Shape[0] {
+		panic(fmt.Sprintf("tensor: ViewRowsInto range [%d,%d) outside leading axis of %v", lo, hi, src.Shape))
+	}
+	rowLen := 1
+	for _, d := range src.Shape[1:] {
+		rowLen *= d
+	}
+	dst.Data = src.Data[lo*rowLen : hi*rowLen : hi*rowLen]
+	dst.Shape = append(dst.Shape[:0], src.Shape...)
+	dst.Shape[0] = hi - lo
+	return dst
 }
 
 // Full returns a tensor of the given shape with every element set to v.

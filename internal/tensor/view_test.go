@@ -1,0 +1,79 @@
+package tensor
+
+import "testing"
+
+func TestViewRowsInto(t *testing.T) {
+	src := New(4, 2, 3)
+	for i := range src.Data {
+		src.Data[i] = float32(i)
+	}
+	var hdr Tensor
+	v := ViewRowsInto(&hdr, src, 1, 3)
+	if v != &hdr {
+		t.Fatal("ViewRowsInto must return its destination header")
+	}
+	if len(v.Shape) != 3 || v.Shape[0] != 2 || v.Shape[1] != 2 || v.Shape[2] != 3 {
+		t.Fatalf("view shape %v, want [2 2 3]", v.Shape)
+	}
+	if &v.Data[0] != &src.Data[6] {
+		t.Fatal("view must alias the source rows, not copy them")
+	}
+	if got, want := v.Data[0], float32(6); got != want {
+		t.Fatalf("view[0] = %v, want %v", got, want)
+	}
+	// Writes through the view land in the source.
+	v.Data[0] = -1
+	if src.Data[6] != -1 {
+		t.Fatal("write through view did not reach source")
+	}
+	// The three-index slice caps the view: appending to the view's data
+	// must never bleed into the rows after Hi.
+	if cap(v.Data) != 12 {
+		t.Fatalf("view capacity %d, want 12 (capped at Hi)", cap(v.Data))
+	}
+}
+
+func TestViewRowsIntoReusesHeader(t *testing.T) {
+	src := New(5, 4)
+	hdr := &Tensor{}
+	a := ViewRowsInto(hdr, src, 0, 2)
+	shape1 := &a.Shape[0]
+	b := ViewRowsInto(hdr, src, 2, 5)
+	if len(b.Shape) != 2 || b.Shape[0] != 3 || b.Shape[1] != 4 {
+		t.Fatalf("second view shape %v, want [3 4]", b.Shape)
+	}
+	if &b.Shape[0] != shape1 {
+		t.Fatal("rebinding the same header must reuse its shape slice")
+	}
+}
+
+func TestViewRowsIntoEmptyAndFull(t *testing.T) {
+	src := New(3, 2)
+	empty := ViewRowsInto(&Tensor{}, src, 1, 1)
+	if empty.Shape[0] != 0 || len(empty.Data) != 0 {
+		t.Fatalf("empty view: shape %v len %d", empty.Shape, len(empty.Data))
+	}
+	full := ViewRowsInto(&Tensor{}, src, 0, 3)
+	if full.Shape[0] != 3 || &full.Data[0] != &src.Data[0] {
+		t.Fatal("full-range view must cover the whole tensor")
+	}
+}
+
+func TestViewRowsIntoPanics(t *testing.T) {
+	src := New(3, 2)
+	for name, fn := range map[string]func(){
+		"negative lo":  func() { ViewRowsInto(&Tensor{}, src, -1, 2) },
+		"hi below lo":  func() { ViewRowsInto(&Tensor{}, src, 2, 1) },
+		"hi past rows": func() { ViewRowsInto(&Tensor{}, src, 0, 4) },
+		"scalar src":   func() { ViewRowsInto(&Tensor{}, &Tensor{Data: []float32{1}}, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -21,7 +21,13 @@ func shardRanges(n, w int) []shardRange {
 	if w < 1 {
 		w = 1
 	}
-	out := make([]shardRange, w)
+	return shardRangesInto(make([]shardRange, w), n)
+}
+
+// shardRangesInto fills out (one span per element) with the contiguous
+// partition of n rows across len(out) workers, allocation-free.
+func shardRangesInto(out []shardRange, n int) []shardRange {
+	w := len(out)
 	base, rem := n/w, n%w
 	lo := 0
 	for i := range out {
@@ -36,15 +42,25 @@ func shardRanges(n, w int) []shardRange {
 }
 
 // parallelExecutor runs one training step's forward/backward across W
-// workers, bit-identically to the sequential Model.Step. The decomposition
-// is per sample, not per shard: every kernel in this stack already
-// accumulates batch contributions in ascending sample order from a cleared
-// buffer (the matmul kernels accumulate ascending-k from clear, Linear's
-// bias loop and Conv2D's dW/dB reduction walk samples ascending), so a
-// single sample's backward pass lands exactly the partial sums the
-// full-batch pass would, and reducing per-sample gradient rows in ascending
-// sample order replays the full-batch rounding sequence bit for bit — at
-// any worker count and any GOMAXPROCS. See DESIGN.md §8 for the argument.
+// workers, bit-identically to the sequential Model.Step. Each worker runs ONE
+// batched forward/backward over its contiguous sub-batch — a view of the
+// input rows, through the same batched kernels the sequential path uses — and
+// the backward pass emits per-sample parameter-gradient partials into a
+// global slab (one row of ParamSet.Total() scalars per batch sample, armed
+// via ParamSet.BindSampleSlab with the shard's first global sample index as
+// base).
+//
+// Bit-identity holds because every kernel in this stack treats batch rows
+// independently in forward (so shard logits are bitwise the sequential
+// rows), per-sample partials are computed by the same kernels a batch-1
+// backward runs (Linear: the k=1 MatMulTransASlice; Conv2D: the per-sample
+// MatMulTransBSlice it always uses), and reducing slab rows in ascending
+// global sample order replays the full-batch accumulation's rounding
+// sequence exactly (matmuls accumulate ascending-k from a cleared buffer,
+// the bias loops walk samples ascending) — at any worker count and any
+// GOMAXPROCS. Dropout mask streams stay aligned because batched draws are
+// row-major ascending and each replica's stream is positioned at its
+// shard's first sample via ArmDropoutSkip. See DESIGN.md §8.
 //
 // Worker 0 runs the primary model on the calling goroutine; workers 1…W−1
 // run structurally identical replicas whose parameter Value tensors alias
@@ -53,13 +69,16 @@ func shardRanges(n, w int) []shardRange {
 type parallelExecutor struct {
 	primary  *Model
 	replicas []*Model // replicas[0] == primary
-	bindings []*nn.GradBinding
 	workers  int
 	total    int // ParamSet.Total()
 
 	slab       []float32 // per-sample gradient rows, sample s at s*total
 	perLoss    []float64 // per-sample −log-likelihood contributions
 	perCorrect []uint8   // per-sample argmax-correct flags
+
+	ranges  []shardRange        // cached per-step shard partition
+	views   []*tensor.Tensor    // per-worker sub-batch view headers
+	scratch []*tensor.Workspace // per-worker loss-head buffers (probs, dlogits)
 
 	hasRNG   bool // any stochastic (Dropout) layers to keep in sync
 	rec      telemetry.Recorder
@@ -83,15 +102,16 @@ func newParallelExecutor(m *Model, workers int, factory func() (*Model, error), 
 	e := &parallelExecutor{
 		primary:  m,
 		replicas: make([]*Model, workers),
-		bindings: make([]*nn.GradBinding, workers),
 		workers:  workers,
 		total:    m.Set.Total(),
+		ranges:   make([]shardRange, workers),
+		views:    make([]*tensor.Tensor, workers),
+		scratch:  make([]*tensor.Workspace, workers),
 		hasRNG:   len(nn.CaptureLayerRNG(m.Net)) > 0,
 		rec:      telemetry.OrNop(rec),
 		shardDur: make([]time.Duration, workers),
 	}
 	e.replicas[0] = m
-	e.bindings[0] = nn.NewGradBinding(m.Set)
 	primaryParams := m.Set.Params()
 	for w := 1; w < workers; w++ {
 		r, err := factory()
@@ -117,17 +137,20 @@ func newParallelExecutor(m *Model, workers int, factory func() (*Model, error), 
 			rp[i].Value = p.Value
 		}
 		e.replicas[w] = r
-		e.bindings[w] = nn.NewGradBinding(r.Set)
+	}
+	for w := 0; w < workers; w++ {
+		e.views[w] = &tensor.Tensor{}
+		e.scratch[w] = tensor.NewWorkspace()
 	}
 	return e, nil
 }
 
-// Step runs one shard-parallel training step: forward/backward per sample
-// across the workers, deterministic reduction of the per-sample gradient
-// rows into the primary's gradient buffers, and the same loss/accuracy
-// reduction arithmetic as the sequential path. On return the primary model
-// holds exactly the gradients, dropout-stream positions, loss, and accuracy
-// that Model.Step would have produced.
+// Step runs one shard-parallel training step: a batched forward/backward per
+// worker over its sub-batch, deterministic reduction of the per-sample
+// gradient slab rows into the primary's gradient buffers, and the same
+// loss/accuracy reduction arithmetic as the sequential path. On return the
+// primary model holds exactly the gradients, dropout-stream positions, loss,
+// and accuracy that Model.Step would have produced.
 func (e *parallelExecutor) Step(x *tensor.Tensor, labels []int) (loss, acc float64) {
 	n := x.Shape[0]
 	if need := n * e.total; cap(e.slab) < need {
@@ -139,7 +162,7 @@ func (e *parallelExecutor) Step(x *tensor.Tensor, labels []int) (loss, acc float
 	}
 	perLoss, perCorrect := e.perLoss[:n], e.perCorrect[:n]
 
-	ranges := shardRanges(n, e.workers)
+	ranges := shardRangesInto(e.ranges, n)
 	// Position each replica's stochastic streams where the sequential pass
 	// would be at its shard's first sample: same state as the primary, then
 	// skip the preceding samples' draws.
@@ -224,34 +247,41 @@ func (e *parallelExecutor) Step(x *tensor.Tensor, labels []int) (loss, acc float
 	return loss, acc
 }
 
-// runShard processes rows [r.Lo, r.Hi) on worker w's replica: one
-// forward/backward per sample into that sample's gradient slab row.
+// runShard processes rows [r.Lo, r.Hi) on worker w's replica as ONE batched
+// forward/backward: the sub-batch is a zero-copy view of the input rows, the
+// loss head reuses worker-local workspace buffers, and the backward pass
+// emits each sample's parameter-gradient partials into its global slab row
+// (ParamSet.BindSampleSlab). Emission fully overwrites every (sample,
+// parameter) slab segment, so rows are not cleared first.
 func (e *parallelExecutor) runShard(w int, r shardRange, x *tensor.Tensor, labels []int, batch int, perLoss []float64, perCorrect []uint8) {
 	if r.Lo >= r.Hi {
 		return
 	}
-	m, bind := e.replicas[w], e.bindings[w]
-	rowLen := x.Len() / batch
-	shape := append([]int{1}, x.Shape[1:]...)
-	for s := r.Lo; s < r.Hi; s++ {
-		row := e.slab[s*e.total : (s+1)*e.total]
-		clear(row)
-		bind.Bind(row)
-		xs := tensor.FromSlice(x.Data[s*rowLen:(s+1)*rowLen], shape...)
-		logits := m.Net.Forward(xs, true)
-		probs := tensor.SoftmaxRows(logits)
-		// The global batch size is the denominator, so this row's dlogits
-		// and −log term are bit-identical to the full-batch pass's row s.
-		lossSum, dlogits := tensor.CrossEntropyFromProbsDenom(probs, labels[s:s+1], batch)
-		perLoss[s] = lossSum
-		if tensor.ArgmaxRows(logits)[0] == labels[s] {
-			perCorrect[s] = 1
-		} else {
-			perCorrect[s] = 0
+	m, sc := e.replicas[w], e.scratch[w]
+	sub := r.Hi - r.Lo
+	xs := tensor.ViewRowsInto(e.views[w], x, r.Lo, r.Hi)
+	m.Set.BindSampleSlab(e.slab, r.Lo)
+	defer m.Set.UnbindSampleSlab()
+	logits := m.Net.Forward(xs, true)
+	classes := logits.Shape[1]
+	probs := tensor.SoftmaxRowsInto(sc.GetRaw("probs", sub, classes), logits)
+	dlogits := sc.GetRaw("dlogits", sub, classes)
+	// The global batch size is the denominator, so each row's dlogits and
+	// −log term are bit-identical to the full-batch pass's row.
+	tensor.CrossEntropyFromProbsDenomInto(dlogits, perLoss[r.Lo:r.Hi], probs, labels[r.Lo:r.Hi], batch)
+	for i := 0; i < sub; i++ {
+		row := logits.Data[i*classes : (i+1)*classes]
+		best := 0
+		for j := 1; j < classes; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
 		}
-		m.Net.Backward(dlogits)
+		if best == labels[r.Lo+i] {
+			perCorrect[r.Lo+i] = 1
+		} else {
+			perCorrect[r.Lo+i] = 0
+		}
 	}
-	if w == 0 {
-		bind.Unbind()
-	}
+	m.Net.Backward(dlogits)
 }

@@ -45,6 +45,19 @@ func parTestDropoutMLP(seed uint64) *Model {
 	return nn.NewModel(net, seed)
 }
 
+func parTestConvModel(seed uint64) *Model {
+	net := nn.NewSequential("parc",
+		nn.NewConv2D("parc/c1", seed, 1, 4, 3, 1, 1),
+		nn.NewReLU("parc/r1"),
+		nn.NewMaxPool2D("parc/p1", 2, 2),
+		nn.NewConv2DNoBias("parc/c2", seed, 4, 6, 3, 1, 1),
+		nn.NewReLU("parc/r2"),
+		nn.NewFlatten("parc/fl"),
+		nn.NewLinear("parc/fc", seed, 6*3*3, 4),
+	)
+	return nn.NewModel(net, seed)
+}
+
 func assertF32BitsEqual(t *testing.T, ctx string, a, b []float32) {
 	t.Helper()
 	if len(a) != len(b) {
@@ -193,6 +206,41 @@ func TestParallelStepMatchesSequential(t *testing.T) {
 			if parRNG[name] != s {
 				t.Fatalf("step %d: dropout stream %q at %#x, sequential at %#x", step, name, parRNG[name], s)
 			}
+		}
+	}
+}
+
+// TestParallelConvStepMatchesSequential covers the convolutional slab-
+// emission path at the executor level: a Conv2D/pool/Linear stack through a
+// W = 3 executor must match the sequential model bit for bit — loss,
+// accuracy, and every gradient buffer — across steps with varying batch
+// sizes, including batches smaller than the worker count (empty shards) and
+// batches that leave remainder shards.
+func TestParallelConvStepMatchesSequential(t *testing.T) {
+	seq := parTestConvModel(37)
+	par := parTestConvModel(37)
+	exec, err := newParallelExecutor(par, 3, func() (*Model, error) { return parTestConvModel(37), nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xorshift.NewState64(123)
+	for step := 0; step < 4; step++ {
+		batch := 1 + int(rng.Uint32n(8))
+		x := tensor.New(batch, 1, 6, 6)
+		for i := range x.Data {
+			x.Data[i] = rng.Float32()*2 - 1
+		}
+		y := make([]int, batch)
+		for i := range y {
+			y[i] = int(rng.Uint32n(4))
+		}
+		wantLoss, wantAcc := seq.Step(x, y)
+		gotLoss, gotAcc := exec.Step(x, y)
+		assertF64BitsEqual(t, "conv step loss", wantLoss, gotLoss)
+		assertF64BitsEqual(t, "conv step acc", wantAcc, gotAcc)
+		sp, pp := seq.Set.Params(), par.Set.Params()
+		for i := range sp {
+			assertF32BitsEqual(t, "conv grad "+sp[i].Name, sp[i].Grad.Data, pp[i].Grad.Data)
 		}
 	}
 }
