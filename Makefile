@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-parallel bench-telemetry cover serve-smoke clean
+.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-guard-sparse bench-parallel bench-telemetry cover serve-smoke clean
 
 # bench-parallel is intentionally NOT part of check: it asserts the W=4
 # executor beats W=1 on wall time, which needs >= 4 real cores — run it
 # explicitly on multi-core hardware (CI's bench-parallel job does).
-check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train cover serve-smoke
+check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-guard-sparse cover serve-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +67,14 @@ bench-guard-train:
 		-run '^$$' . > bench_train.out
 	$(GO) run ./cmd/benchguard -baseline BENCH_train.json -input bench_train.out
 
+# Sparse-native inference gate: BenchmarkSparseForward (compute straight
+# off the CSR artifact) must stay allocation-free on the MLP path and under
+# the dense path's alloc ceilings, per BENCH_sparse.json.
+bench-guard-sparse:
+	$(GO) test -bench 'BenchmarkSparseForward|BenchmarkDenseForward' \
+		-benchmem -benchtime 20x -run '^$$' ./internal/sparsenn > bench_sparse.out
+	$(GO) run ./cmd/benchguard -baseline BENCH_sparse.json -input bench_sparse.out
+
 # Multi-core speedup gate (mirrors CI's bench-parallel job): at
 # GOMAXPROCS=4 the batched shard executor at W=4 must beat the sequential
 # W=1 path on wall time. Requires >= 4 real cores — meaningless (and
@@ -95,4 +103,4 @@ bench-telemetry:
 		-bench-out BENCH_telemetry.json
 
 clean:
-	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out bench_train.out bench_parallel.out cpu.pprof heap.pprof
+	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out bench_train.out bench_sparse.out bench_parallel.out cpu.pprof heap.pprof

@@ -49,6 +49,7 @@ func run() error {
 		model     = flag.String("model", "mnist100", "mnist100 | lenet300 | vggs-reduced | wrn-reduced | densenet-reduced")
 		seed      = flag.Uint64("seed", 1, "model seed used at training time")
 		quantBits = flag.Int("quant-bits", 0, "serve b-bit quantized weights (1..8, 0 = full float artifact)")
+		sparseRun = flag.Bool("sparse", false, "serve straight off the compressed artifact: one shared tracked-weight copy, untracked weights regenerated in the kernels")
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
 		replicas  = flag.Int("replicas", 4, "model replica pool size (max concurrent forward passes)")
 		maxBatch  = flag.Int("max-batch", 8, "max requests coalesced into one forward pass")
@@ -100,23 +101,42 @@ func run() error {
 		collector = telemetry.NewCollector(opts)
 	}
 
-	srv, err := dropback.NewServer(dropback.ServeConfig{
-		NewReplica: func() (*dropback.Model, error) {
-			m := build()
-			return m, art.Apply(m)
-		},
+	cfg := dropback.ServeConfig{
 		InputShape: inputShape,
 		Replicas:   *replicas,
 		MaxBatch:   *maxBatch,
 		MaxWait:    *maxWait,
 		QueueDepth: *queue,
-		Telemetry:  collector,
-	})
+	}
+	if collector != nil {
+		// Assigning a nil *Collector directly would store a typed nil in the
+		// Recorder interface field, defeating the server's nil check.
+		cfg.Telemetry = collector
+	}
+	if *sparseRun {
+		plan, err := dropback.CompileSparse(build(), art)
+		if err != nil {
+			return err
+		}
+		cfg.NewSparseReplica = func() (dropback.ServeReplica, error) {
+			return dropback.NewSparseExecutor(plan), nil
+		}
+		fmt.Printf("sparse-native: %d tracked weights, %d resident weight bytes shared across replicas (dense would be %d per replica)\n",
+			plan.TrackedWeights(), plan.WeightBytes(), plan.DenseWeightBytes())
+	} else {
+		cfg.NewReplica = func() (*dropback.Model, error) {
+			m := build()
+			return m, art.Apply(m)
+		}
+	}
+	srv, err := dropback.NewServer(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pool: %d replicas of %s (seed %d), max batch %d, max wait %v, queue %d\n",
-		srv.Replicas(), *model, *seed, *maxBatch, *maxWait, srv.Stats().QueueCap)
+	st0 := srv.Stats()
+	fmt.Printf("pool: %d replicas of %s (seed %d), max batch %d, max wait %v, queue %d, built in %v\n",
+		srv.Replicas(), *model, *seed, *maxBatch, *maxWait, st0.QueueCap,
+		st0.PoolBuild.Round(time.Microsecond))
 
 	httpSrv := &http.Server{
 		Addr:    *addr,

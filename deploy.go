@@ -7,6 +7,7 @@ import (
 	"dropback/internal/quant"
 	"dropback/internal/serve"
 	"dropback/internal/sparse"
+	"dropback/internal/sparsenn"
 )
 
 // SparseArtifact is the deployment form of a DropBack-trained model: the
@@ -37,6 +38,33 @@ func QuantizeSparse(a *SparseArtifact, bits int) (*QuantizedArtifact, error) {
 // ValidateQuantBits reports whether bits is a legal quantization width
 // (1..8); use it to validate flag or request values before quantizing.
 func ValidateQuantBits(bits int) error { return quant.ValidateBits(bits) }
+
+// SparsePlan is the compiled sparse-native execution form of an artifact:
+// tracked weights in per-layer CSR slices, small vectors materialized, and
+// the layer topology. A plan is immutable and shared by every executor
+// built from it — one copy of the weight state per process.
+type SparsePlan = sparsenn.Plan
+
+// SparseExecutor runs inference straight off a SparsePlan, regenerating
+// untracked weights inside the kernel loops instead of densifying. Outputs
+// are bit-identical to applying the artifact to a dense model and running
+// its forward pass. Like a Model, an executor is single-goroutine-only.
+type SparseExecutor = sparsenn.Executor
+
+// ServeReplica is the serving pool's replica interface, implemented by both
+// the dense model wrapper and SparseExecutor.
+type ServeReplica = serve.Replica
+
+// CompileSparse compiles an artifact against a freshly constructed
+// prototype model (same constructor and seed as training) into a SparsePlan.
+// The prototype is only read during compilation and can be dropped after.
+func CompileSparse(m *Model, a *SparseArtifact) (*SparsePlan, error) {
+	return sparsenn.Compile(m, a)
+}
+
+// NewSparseExecutor builds an inference executor over a shared plan; the
+// per-executor cost is activation scratch only.
+func NewSparseExecutor(p *SparsePlan) *SparseExecutor { return sparsenn.NewExecutor(p) }
 
 // SaveSparse writes a sparse artifact to a file.
 func SaveSparse(path string, a *SparseArtifact) error { return sparse.Save(path, a) }

@@ -2,53 +2,109 @@ package serve
 
 import (
 	"fmt"
+	"sync"
 
 	"dropback/internal/nn"
+	"dropback/internal/tensor"
 )
 
+// Replica is one exclusively-owned inference engine. Implementations are
+// single-goroutine-only (they own mutable activation scratch), which is why
+// they live in a Pool: a checked-out replica belongs to one batch at a time.
+//
+// Two implementations exist: ModelReplica wraps a densified *nn.Model, and
+// sparsenn.Executor runs straight off the compressed artifact with all
+// weight state shared across replicas.
+type Replica interface {
+	// Infer runs one forward pass in inference mode. The returned tensor may
+	// be replica-owned scratch, valid until the next Infer call.
+	Infer(x *tensor.Tensor) *tensor.Tensor
+	// WeightBytes reports the replica's resident weight footprint, split
+	// into bytes shared with every other replica built the same way (one
+	// copy per process) and bytes private to this replica.
+	WeightBytes() (shared, private int)
+}
+
+// ModelReplica adapts a dense *nn.Model to the Replica interface. Every
+// weight is private: densifying an artifact materializes a full float32 copy
+// of the parameter vector per replica.
+type ModelReplica struct {
+	M *nn.Model
+}
+
+// Infer runs the model's forward pass in inference mode.
+func (r ModelReplica) Infer(x *tensor.Tensor) *tensor.Tensor {
+	return r.M.Net.Forward(x, false)
+}
+
+// WeightBytes reports the dense parameter footprint, all of it per-replica.
+func (r ModelReplica) WeightBytes() (shared, private int) {
+	return 0, 4 * r.M.Set.Total()
+}
+
 // Pool is a fixed set of interchangeable model replicas. It exists because a
-// *nn.Model is single-goroutine-only (layers own mutable workspaces that
-// every Forward overwrites — see the nn.Layer contract): a replica checked
-// out of the pool is exclusively owned until released, so any number of
-// goroutines can run inference concurrently as long as each uses its own
+// replica is single-goroutine-only (layers own mutable workspaces that
+// every forward pass overwrites — see the nn.Layer contract): a replica
+// checked out of the pool is exclusively owned until released, so any number
+// of goroutines can run inference concurrently as long as each uses its own
 // checked-out replica.
 //
 // Replicas are built by a constructor rather than copied from a prototype:
 // the sparse-artifact deployment path makes construction cheap (regenerate
 // from the seed, overlay the tracked weights), and independent construction
-// guarantees no hidden state is shared between replicas.
+// guarantees no hidden mutable state is shared between replicas.
 type Pool struct {
-	replicas chan *nn.Model
+	replicas chan Replica
 	size     int
+	shared   int // weight bytes shared across replicas (one copy)
+	private  int // weight bytes resident per replica
 }
 
 // NewPool builds n replicas with build and returns the pool. Every replica
 // must come out bit-identical (same constructor, same seed, same artifact)
 // so that which replica serves a request can never change the answer.
-func NewPool(n int, build func() (*nn.Model, error)) (*Pool, error) {
+//
+// Replicas are built concurrently: construction cost is dominated by
+// regenerating the untracked weights (or compiling activation scratch),
+// which is pure CPU work with no shared state, so cold-start latency is the
+// slowest single build rather than the sum of all of them.
+func NewPool(n int, build func() (Replica, error)) (*Pool, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("serve: pool size must be positive, got %d", n)
 	}
-	p := &Pool{replicas: make(chan *nn.Model, n), size: n}
+	reps := make([]Replica, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		m, err := build()
-		if err != nil {
-			return nil, fmt.Errorf("serve: building replica %d of %d: %w", i+1, n, err)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reps[i], errs[i] = build()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("serve: building replica %d of %d: %w", i+1, n, errs[i])
 		}
-		if m == nil {
-			return nil, fmt.Errorf("serve: replica constructor returned nil model")
+		if reps[i] == nil {
+			return nil, fmt.Errorf("serve: replica constructor returned nil replica")
 		}
-		p.replicas <- m
+	}
+	p := &Pool{replicas: make(chan Replica, n), size: n}
+	p.shared, p.private = reps[0].WeightBytes()
+	for _, r := range reps {
+		p.replicas <- r
 	}
 	return p, nil
 }
 
 // Acquire checks a replica out of the pool, blocking until one is free. The
 // caller owns it exclusively until Release.
-func (p *Pool) Acquire() *nn.Model { return <-p.replicas }
+func (p *Pool) Acquire() Replica { return <-p.replicas }
 
 // Release returns a replica to the pool.
-func (p *Pool) Release(m *nn.Model) { p.replicas <- m }
+func (p *Pool) Release(r Replica) { p.replicas <- r }
 
 // Size returns the number of replicas.
 func (p *Pool) Size() int { return p.size }
@@ -56,3 +112,10 @@ func (p *Pool) Size() int { return p.size }
 // Free returns how many replicas are currently idle (observability only;
 // the value is stale as soon as it is read).
 func (p *Pool) Free() int { return len(p.replicas) }
+
+// WeightBytes reports the pool's resident weight footprint: bytes shared
+// across all replicas (one copy per process) and bytes private to each
+// replica. Dense pools are all private; sparse pools are all shared.
+func (p *Pool) WeightBytes() (shared, privatePerReplica int) {
+	return p.shared, p.private
+}

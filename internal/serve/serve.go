@@ -57,6 +57,10 @@ const (
 	GaugeQueueDepth = "serve/queue_depth"
 	// GaugeBatchSize is the size of the most recent batch.
 	GaugeBatchSize = "serve/batch_size"
+	// GaugePoolBuildSeconds is the wall time spent building the replica pool
+	// at startup (replicas build concurrently, so this tracks the slowest
+	// single build).
+	GaugePoolBuildSeconds = "serve/pool_build_seconds"
 )
 
 // Sentinel errors the serving layer maps to HTTP statuses.
@@ -71,11 +75,18 @@ var (
 
 // Config configures a Server.
 type Config struct {
-	// NewReplica constructs one inference replica: a freshly built model
-	// with the deployment artifact applied. It is called Replicas times at
-	// startup; replicas must be built by the same constructor with the same
-	// seed so they are bit-identical.
+	// NewReplica constructs one dense inference replica: a freshly built
+	// model with the deployment artifact applied. It is called Replicas
+	// times at startup; replicas must be built by the same constructor with
+	// the same seed so they are bit-identical. Exactly one of NewReplica and
+	// NewSparseReplica must be set.
 	NewReplica func() (*nn.Model, error)
+	// NewSparseReplica constructs one sparse-native inference replica
+	// (typically a sparsenn.Executor over a shared compiled plan): all
+	// weight state is shared across replicas and only activation scratch is
+	// per-replica. Exactly one of NewReplica and NewSparseReplica must be
+	// set.
+	NewSparseReplica func() (Replica, error)
 	// InputShape is the per-sample input shape, e.g. [784] for the MLPs or
 	// [3, 12, 12] for the reduced convolutional models. Batches are formed
 	// as [n, InputShape...].
@@ -100,8 +111,11 @@ type Config struct {
 
 // withDefaults validates cfg and fills unset fields.
 func (cfg Config) withDefaults() (Config, error) {
-	if cfg.NewReplica == nil {
-		return cfg, errors.New("serve: Config.NewReplica is required")
+	if cfg.NewReplica == nil && cfg.NewSparseReplica == nil {
+		return cfg, errors.New("serve: one of Config.NewReplica or Config.NewSparseReplica is required")
+	}
+	if cfg.NewReplica != nil && cfg.NewSparseReplica != nil {
+		return cfg, errors.New("serve: Config.NewReplica and Config.NewSparseReplica are mutually exclusive")
 	}
 	if len(cfg.InputShape) == 0 {
 		return cfg, errors.New("serve: Config.InputShape is required")
@@ -156,10 +170,11 @@ type result struct {
 
 // Server owns the replica pool and the micro-batching pipeline.
 type Server struct {
-	cfg      Config
-	rec      telemetry.Recorder
-	pool     *Pool
-	inputLen int
+	cfg       Config
+	rec       telemetry.Recorder
+	pool      *Pool
+	poolBuild time.Duration
+	inputLen  int
 
 	queue chan *request
 	stop  chan struct{}
@@ -192,10 +207,25 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := NewPool(cfg.Replicas, cfg.NewReplica)
+	build := cfg.NewSparseReplica
+	if build == nil {
+		build = func() (Replica, error) {
+			m, err := cfg.NewReplica()
+			if err != nil {
+				return nil, err
+			}
+			if m == nil {
+				return nil, errors.New("serve: replica constructor returned nil model")
+			}
+			return ModelReplica{M: m}, nil
+		}
+	}
+	buildStart := time.Now()
+	pool, err := NewPool(cfg.Replicas, build)
 	if err != nil {
 		return nil, err
 	}
+	poolBuild := time.Since(buildStart)
 	inputLen := 1
 	for _, d := range cfg.InputShape {
 		inputLen *= d
@@ -204,12 +234,14 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		rec:       telemetry.OrNop(cfg.Telemetry),
 		pool:      pool,
+		poolBuild: poolBuild,
 		inputLen:  inputLen,
 		queue:     make(chan *request, cfg.QueueDepth),
 		stop:      make(chan struct{}),
 		batchDone: make(chan struct{}),
 		batchDist: make([]uint64, cfg.MaxBatch),
 	}
+	s.rec.Gauge(GaugePoolBuildSeconds, poolBuild.Seconds())
 	go s.batchLoop()
 	return s, nil
 }
@@ -342,17 +374,17 @@ func (s *Server) drainQueue() {
 // dispatch runs one batch on a free replica. Acquire blocks until a replica
 // is available, which is the pool's backpressure on the batcher itself.
 func (s *Server) dispatch(batch []*request) {
-	m := s.pool.Acquire()
+	rep := s.pool.Acquire()
 	s.inflight.Add(1)
 	go func() {
 		defer s.inflight.Done()
-		defer s.pool.Release(m)
-		s.runBatch(m, batch)
+		defer s.pool.Release(rep)
+		s.runBatch(rep, batch)
 	}()
 }
 
 // runBatch executes one coalesced forward pass and fans results back out.
-func (s *Server) runBatch(m *nn.Model, batch []*request) {
+func (s *Server) runBatch(rep Replica, batch []*request) {
 	// Skip requests whose caller has already gone away (timeout/cancel):
 	// they have received ctx.Err() and nobody reads their done channel.
 	live := batch[:0:0]
@@ -386,7 +418,7 @@ func (s *Server) runBatch(m *nn.Model, batch []*request) {
 	for i, r := range live {
 		copy(x.Data[i*s.inputLen:(i+1)*s.inputLen], r.input)
 	}
-	logits := m.Net.Forward(x, false)
+	logits := rep.Infer(x)
 	probs := tensor.SoftmaxRows(logits)
 
 	n := len(live)
@@ -462,18 +494,34 @@ type Stats struct {
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP95 time.Duration `json:"latency_p95_ns"`
 	LatencyMax time.Duration `json:"latency_max_ns"`
+	// PoolBuild is the startup wall time spent building the replica pool
+	// (replicas build concurrently, so it tracks the slowest single build).
+	PoolBuild time.Duration `json:"pool_build_ns"`
+	// SharedWeightBytes is the resident weight state shared across every
+	// replica (one copy per process; the compiled sparse plan). Zero for
+	// dense pools. WeightBytesPerReplica is the weight state each replica
+	// holds privately (the full dense parameter vector; zero for sparse
+	// pools). Together they make the serving memory collapse observable:
+	// dense total = Replicas × WeightBytesPerReplica, sparse total =
+	// SharedWeightBytes.
+	SharedWeightBytes     int `json:"shared_weight_bytes"`
+	WeightBytesPerReplica int `json:"weight_bytes_per_replica"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
+	shared, private := s.pool.WeightBytes()
 	st := Stats{
-		Replicas:   s.pool.Size(),
-		QueueCap:   cap(s.queue),
-		QueueDepth: len(s.queue),
-		Requests:   s.requests.Load(),
-		Rejected:   s.rejected.Load(),
-		Expired:    s.expired.Load(),
-		Panics:     s.panics.Load(),
+		Replicas:              s.pool.Size(),
+		QueueCap:              cap(s.queue),
+		QueueDepth:            len(s.queue),
+		Requests:              s.requests.Load(),
+		Rejected:              s.rejected.Load(),
+		Expired:               s.expired.Load(),
+		Panics:                s.panics.Load(),
+		PoolBuild:             s.poolBuild,
+		SharedWeightBytes:     shared,
+		WeightBytesPerReplica: private,
 	}
 	s.statsMu.Lock()
 	st.Batches = s.batches

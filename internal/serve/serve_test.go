@@ -132,7 +132,13 @@ func TestConcurrentPredictMatchesSequentialEval(t *testing.T) {
 // replica produces bit-identical logits, so which replica serves a request
 // can never change the answer.
 func TestPoolReplicasBitIdentical(t *testing.T) {
-	p, err := NewPool(4, func() (*nn.Model, error) { return newTestModel(7) })
+	p, err := NewPool(4, func() (Replica, error) {
+		m, err := newTestModel(7)
+		if err != nil {
+			return nil, err
+		}
+		return ModelReplica{M: m}, nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +149,7 @@ func TestPoolReplicasBitIdentical(t *testing.T) {
 	input := randInput(rng, 16)
 
 	var ref []float32
-	replicas := make([]*nn.Model, 4)
+	replicas := make([]Replica, 4)
 	for i := range replicas {
 		replicas[i] = p.Acquire()
 	}
@@ -152,7 +158,7 @@ func TestPoolReplicasBitIdentical(t *testing.T) {
 	}
 	for i, m := range replicas {
 		x := tensor.FromSlice(append([]float32(nil), input...), 1, 16)
-		out := m.Net.Forward(x, false)
+		out := m.Infer(x)
 		if i == 0 {
 			ref = append([]float32(nil), out.Data...)
 			continue
@@ -172,15 +178,29 @@ func TestPoolReplicasBitIdentical(t *testing.T) {
 }
 
 func TestPoolSizeValidation(t *testing.T) {
-	if _, err := NewPool(0, func() (*nn.Model, error) { return newTestModel(1) }); err == nil {
+	build := func() (Replica, error) {
+		m, err := newTestModel(1)
+		if err != nil {
+			return nil, err
+		}
+		return ModelReplica{M: m}, nil
+	}
+	if _, err := NewPool(0, build); err == nil {
 		t.Error("NewPool(0) succeeded, want error")
 	}
-	if _, err := NewPool(2, func() (*nn.Model, error) { return nil, nil }); err == nil {
-		t.Error("nil-model constructor accepted, want error")
+	if _, err := NewPool(2, func() (Replica, error) { return nil, nil }); err == nil {
+		t.Error("nil-replica constructor accepted, want error")
 	}
 	boom := errors.New("boom")
-	if _, err := NewPool(2, func() (*nn.Model, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, err := NewPool(2, func() (Replica, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Errorf("constructor error not propagated: %v", err)
+	}
+	// The dense-path wrapper in New must reject a nil model before it is
+	// wrapped into a (non-nil) ModelReplica.
+	cfg := testConfig()
+	cfg.NewReplica = func() (*nn.Model, error) { return nil, nil }
+	if _, err := New(cfg); err == nil {
+		t.Error("nil-model constructor accepted, want error")
 	}
 }
 

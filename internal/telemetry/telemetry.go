@@ -160,9 +160,14 @@ func (Nop) StepDone(StepSample) {}
 func (Nop) EpochDone(EpochSample) {}
 
 // OrNop returns rec if non-nil and Nop otherwise, so callers can thread an
-// optional recorder without nil checks at every call site.
+// optional recorder without nil checks at every call site. A nil *Collector
+// stored in the interface (the easy mistake when threading an optional
+// collector through a config struct) counts as nil too.
 func OrNop(rec Recorder) Recorder {
 	if rec == nil {
+		return Nop{}
+	}
+	if c, ok := rec.(*Collector); ok && c == nil {
 		return Nop{}
 	}
 	return rec

@@ -109,6 +109,35 @@ func matMulRows(dst, a, b []float32, k, n, lo, hi int) {
 	}
 }
 
+// MatMulRowSlice computes a single output row dst = arow @ b over raw
+// slices, where arow is (k,), b is (k, n) and dst is (n,). It performs
+// exactly the float operations MatMulSlice would perform for that row — same
+// j-tiling, same cleared-then-ascending-k accumulation, same zero skip — so
+// callers that stream the A matrix one row at a time through a bounce buffer
+// (the sparse-native convolution regenerating untracked filter weights on
+// the fly) produce results bit-identical to the dense (m, k) @ (k, n)
+// product.
+func MatMulRowSlice(dst, arow, b []float32, k, n int) {
+	for jb := 0; jb < n; jb += matmulJTile {
+		je := jb + matmulJTile
+		if je > n {
+			je = n
+		}
+		orow := dst[jb:je]
+		clear(orow)
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n+jb : p*n+je]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
 // MatMulTransASlice computes dst = aᵀ @ b over raw slices, where a is
 // (k, m), b is (k, n) and dst is (m, n) — the input-gradient kernel
 // dcols = Wᵀ @ dy. Same blocking and determinism guarantees as MatMulSlice.

@@ -2,7 +2,9 @@
 # End-to-end serving smoke test, run by CI and `make serve-smoke`:
 # train briefly -> export the sparse artifact -> start dropback-serve ->
 # round-trip a prediction over HTTP -> check health/stats endpoints ->
-# SIGTERM and require a graceful zero-exit drain.
+# SIGTERM and require a graceful zero-exit drain. Then repeat the round
+# trip against a sparse-native server (-sparse) and require its prediction
+# to match the dense server's byte for byte.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,5 +78,58 @@ if [ "$EXIT_CODE" -ne 0 ]; then
 fi
 grep -q "shutdown signal received" "$TMP/serve.log" || { echo "no drain log line:"; cat "$TMP/serve.log"; exit 1; }
 [ -s "$TMP/serve.jsonl" ] || { echo "telemetry stream is empty (drain lost it?)"; exit 1; }
+
+echo "==> starting sparse-native dropback-serve on $ADDR"
+"$TMP/dropback-serve" -artifact "$TMP/model.dbsp" -model mnist100 -seed 1 \
+    -addr "$ADDR" -replicas 2 -max-batch 4 -timeout 5s \
+    -sparse >"$TMP/sparse.log" 2>&1 &
+SERVE_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "sparse server exited early:"; cat "$TMP/sparse.log"; exit 1
+    fi
+    sleep 0.2
+done
+curl -sf "http://$ADDR/readyz" >/dev/null || { echo "sparse server never became ready"; cat "$TMP/sparse.log"; exit 1; }
+
+echo "==> sparse predict matches dense"
+SPARSE_RESP="$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @"$TMP/payload.json" "http://$ADDR/v1/predict")"
+echo "    $SPARSE_RESP"
+# batch_size depends on request coalescing timing, not the model — strip it.
+DENSE_CORE="$(printf '%s' "$RESP" | sed 's/,"batch_size":[0-9]*//')"
+SPARSE_CORE="$(printf '%s' "$SPARSE_RESP" | sed 's/,"batch_size":[0-9]*//')"
+if [ "$SPARSE_CORE" != "$DENSE_CORE" ]; then
+    echo "sparse prediction diverges from dense:"
+    echo "  dense:  $DENSE_CORE"
+    echo "  sparse: $SPARSE_CORE"
+    exit 1
+fi
+
+echo "==> sparse statsz reports shared weight bytes"
+SPARSE_STATS="$(curl -sf "http://$ADDR/statsz")"
+echo "    $SPARSE_STATS"
+case "$SPARSE_STATS" in
+    *'"shared_weight_bytes":0'*) echo "sparse server reports zero shared weight bytes"; exit 1 ;;
+    *'"shared_weight_bytes":'*) ;;
+    *) echo "statsz missing shared_weight_bytes"; exit 1 ;;
+esac
+case "$SPARSE_STATS" in
+    *'"weight_bytes_per_replica":0'*) ;;
+    *) echo "sparse server should report zero private weight bytes per replica"; exit 1 ;;
+esac
+
+echo "==> sparse server graceful drain"
+kill -TERM "$SERVE_PID"
+EXIT_CODE=0
+wait "$SERVE_PID" || EXIT_CODE=$?
+SERVE_PID=""
+if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "sparse server exited $EXIT_CODE on SIGTERM, want 0:"; cat "$TMP/sparse.log"; exit 1
+fi
 
 echo "==> serve smoke OK"
