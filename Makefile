@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-guard-sparse bench-parallel bench-telemetry cover serve-smoke clean
+.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-train bench-guard-sparse bench-parallel bench-telemetry cover serve-smoke serve-chaos serve-load clean
 
 # bench-parallel is intentionally NOT part of check: it asserts the W=4
 # executor beats W=1 on wall time, which needs >= 4 real cores — run it
 # explicitly on multi-core hardware (CI's bench-parallel job does).
-check: build fmt-check vet test fuzz race bench bench-guard bench-guard-serve bench-guard-train bench-guard-sparse cover serve-smoke
+check: build fmt-check vet test fuzz race bench bench-guard bench-guard-train bench-guard-sparse cover serve-smoke serve-chaos serve-load
 
 build:
 	$(GO) build ./...
@@ -52,13 +52,6 @@ bench-guard:
 		-benchmem -benchtime 10x -run '^$$' . > bench_guard.out
 	$(GO) run ./cmd/benchguard -baseline BENCH_kernels.json -input bench_guard.out
 
-# Serving-path allocation gate: BenchmarkServePredict (queue -> batcher ->
-# replica pool) must stay under the allocs/op ceiling in BENCH_serve.json.
-bench-guard-serve:
-	$(GO) test -bench BenchmarkServePredict -benchmem -benchtime 50x \
-		-run '^$$' ./internal/serve > bench_serve.out
-	$(GO) run ./cmd/benchguard -baseline BENCH_serve.json -input bench_serve.out
-
 # Training-step gate: BenchmarkTrainStep (sequential + shard-parallel
 # executor) must stay under the allocs/op ceilings and within max_ns_ratio
 # of the ns/op baselines in BENCH_train.json.
@@ -90,9 +83,23 @@ cover:
 	./scripts/coverage_check.sh
 
 # End-to-end serving smoke: train -> export artifact -> dropback-serve ->
-# HTTP predict round trip -> graceful SIGTERM drain.
+# HTTP predict round trip -> live reload to a retrained artifact (corrupt
+# artifacts rejected) -> graceful SIGTERM drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Fault-injection e2e under the race detector: reload under load, corrupt
+# artifact rejection, canary auto-rollback, tier shedding with a stalled
+# replica — plus a short run of the reload-corruption fuzzer.
+serve-chaos:
+	$(GO) test -race -timeout 900s ./internal/serve ./internal/faults ./internal/loadgen
+	$(GO) test -run=Fuzz -fuzz=FuzzReloadArtifact -fuzztime=15s ./internal/serve
+
+# Serving performance gate: BenchmarkServePredict allocs plus open-loop
+# loadgen tier curves (interactive p50/p99 ceilings, shed budgets, strict
+# interactive<best-effort shed ordering) against BENCH_serve.json.
+serve-load:
+	./scripts/serve_load.sh
 
 # The CI telemetry export: a short DropBack run that emits the JSONL stream
 # and the BENCH_telemetry.json benchmark-trajectory artifact.
@@ -103,4 +110,4 @@ bench-telemetry:
 		-bench-out BENCH_telemetry.json
 
 clean:
-	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_serve.out bench_train.out bench_sparse.out bench_parallel.out cpu.pprof heap.pprof
+	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_train.out bench_sparse.out bench_parallel.out cpu.pprof heap.pprof

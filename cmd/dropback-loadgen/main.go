@@ -1,0 +1,125 @@
+// Command dropback-loadgen drives a dropback-serve instance with open-loop
+// load and reports per-tier latency/shed statistics. Arrivals follow a fixed
+// schedule that never slows down when the server does, so the measured
+// latencies include queueing delay (no coordinated omission).
+//
+// Usage:
+//
+//	dropback-loadgen -url http://localhost:8080 -rps 200 -duration 10s \
+//	    -tiers "interactive=1,batch=1,best-effort=2"
+//
+// The default output is a JSON report. With -bench the tool instead emits
+// benchguard-compatible lines (p50/p99/ns_per_req/shed per tier) on stdout
+// so CI can gate serving regressions with cmd/benchguard.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dropback/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "base URL of the serving instance")
+		rps      = flag.Float64("rps", 100, "offered load in requests per second")
+		duration = flag.Duration("duration", 10*time.Second, "length of the run")
+		tiers    = flag.String("tiers", "interactive=1", "tier mix as name=weight pairs, e.g. interactive=1,batch=1,best-effort=2")
+		inputLen = flag.Int("input-len", 784, "flattened input length per request")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		inflight = flag.Int("max-inflight", 0, "client-side concurrency cap; overflow counts as dropped (0 = 4x rps)")
+		seed     = flag.Int64("seed", 1, "seed for input generation and tier draws")
+		benchOut = flag.Bool("bench", false, "emit benchguard-compatible bench lines instead of the JSON report")
+		jsonPath = flag.String("json", "", "also write the JSON report to this path")
+	)
+	flag.Parse()
+
+	mix, err := parseTierMix(*tiers)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "offering %.0f rps to %s for %v (%d-float inputs, mix %s)\n",
+		*rps, *url, *duration, *inputLen, *tiers)
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		URL:            *url,
+		RPS:            *rps,
+		Duration:       *duration,
+		Tiers:          mix,
+		InputLen:       *inputLen,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *inflight,
+		Seed:           *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rep.SortTiers()
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *benchOut {
+		return loadgen.WriteBenchLines(os.Stdout, rep)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parseTierMix turns "interactive=1,batch=2" into a weighted tier mix.
+func parseTierMix(s string) ([]loadgen.TierMix, error) {
+	var mix []loadgen.TierMix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tiers: %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(weight), 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-tiers: bad weight in %q", part)
+		}
+		mix = append(mix, loadgen.TierMix{Tier: strings.TrimSpace(name), Weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("-tiers: empty mix")
+	}
+	return mix, nil
+}

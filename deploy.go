@@ -1,6 +1,7 @@
 package dropback
 
 import (
+	"io"
 	"net/http"
 
 	"dropback/internal/checkpoint"
@@ -72,6 +73,15 @@ func SaveSparse(path string, a *SparseArtifact) error { return sparse.Save(path,
 // LoadSparse reads a sparse artifact file.
 func LoadSparse(path string) (*SparseArtifact, error) { return sparse.Load(path) }
 
+// ReadSparse reads a sparse artifact from a stream — the hot-reload path,
+// where artifact bytes arrive over HTTP rather than from a file. The format's
+// checksum trailer is verified, so torn or bit-flipped payloads are rejected.
+func ReadSparse(r io.Reader) (*SparseArtifact, error) { return sparse.Read(r) }
+
+// NewModelReplica wraps a dense model as a serving-pool replica, for
+// ServeConfig.Compile callbacks that rebuild dense pools from artifact bytes.
+func NewModelReplica(m *Model) ServeReplica { return serve.ModelReplica{M: m} }
+
 // SaveCheckpoint writes a dense checkpoint (all weights + batch norm
 // statistics) of the model to a file — the training save/resume path. The
 // write is atomic: a crash mid-save leaves any previous file at path intact.
@@ -128,12 +138,54 @@ type Prediction = serve.Prediction
 // ServeHandlerConfig configures the HTTP front end of a Server.
 type ServeHandlerConfig = serve.HandlerConfig
 
-// Serving errors, mapped to HTTP 429/503 by the serve handler.
+// ServeTier is a request priority class. Under overload the server sheds
+// lower tiers first, so interactive traffic keeps its floor while batch and
+// best-effort work absorbs the loss.
+type ServeTier = serve.Tier
+
+// The priority tiers, highest first. Requests carry their tier in the
+// X-Priority header (ServeTierHeader); absent means interactive.
+const (
+	ServeTierInteractive = serve.TierInteractive
+	ServeTierBatch       = serve.TierBatch
+	ServeTierBestEffort  = serve.TierBestEffort
+)
+
+// ServeTierHeader is the HTTP request header naming the priority tier.
+const ServeTierHeader = serve.TierHeader
+
+// ParseServeTier maps a wire name ("interactive", "batch", "best-effort";
+// empty means interactive) to its tier.
+func ParseServeTier(name string) (ServeTier, error) { return serve.ParseTier(name) }
+
+// ReloadOptions controls how a hot-reloaded version enters service (full
+// atomic swap or canary share with automatic rollback/promotion).
+type ReloadOptions = serve.ReloadOptions
+
+// ReloadResult describes a verified hot reload: the new version id, artifact
+// checksum, and whether it swapped in immediately or entered as a canary.
+type ReloadResult = serve.ReloadResult
+
+// ServeTierStats and ServeVersionStats are the per-tier and per-version
+// slices of a ServerStats snapshot.
+type (
+	ServeTierStats    = serve.TierStats
+	ServeVersionStats = serve.VersionStats
+)
+
+// Serving errors, mapped to HTTP status codes by the serve handler.
 var (
-	// ErrServerOverloaded reports a full request queue (backpressure).
+	// ErrServerOverloaded reports a shed request (HTTP 429 + Retry-After).
 	ErrServerOverloaded = serve.ErrOverloaded
-	// ErrServerDraining reports a server shutting down.
+	// ErrServerDraining reports a server shutting down (HTTP 503).
 	ErrServerDraining = serve.ErrDraining
+	// ErrReloadUnsupported reports a reload without a Compile hook (501).
+	ErrReloadUnsupported = serve.ErrReloadUnsupported
+	// ErrReloadInProgress reports a concurrent reload attempt (409).
+	ErrReloadInProgress = serve.ErrReloadInProgress
+	// ErrBadArtifact reports a reload artifact that failed verification; the
+	// previous version keeps serving untouched (422).
+	ErrBadArtifact = serve.ErrBadArtifact
 )
 
 // NewServer builds the replica pool (calling cfg.NewReplica once per

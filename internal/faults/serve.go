@@ -1,0 +1,70 @@
+package faults
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dropback/internal/serve"
+	"dropback/internal/tensor"
+)
+
+// ChaosReplica wraps a serve.Replica with injectable misbehavior — the
+// serve-side fault modes a robust server must contain: a slow replica (GC
+// pause, noisy neighbor, thermal throttling), a panicking replica (latent
+// bug or corrupt weights reached only on some inputs), and a stalled
+// replica (deadlocked dependency) that blocks until released. Tests wire it
+// through Config.NewSparseReplica or Config.Compile, so the chaos enters by
+// the same seam a real model does.
+//
+// Like any Replica it is single-goroutine-only while checked out; the call
+// counter is atomic anyway so tests can read it while the server runs.
+type ChaosReplica struct {
+	// R is the wrapped replica computing real answers.
+	R serve.Replica
+	// Delay is added to every Infer call before the forward pass.
+	Delay time.Duration
+	// PanicEvery makes every Nth Infer call panic (1 = every call, 0 =
+	// never). The panic happens before the forward pass.
+	PanicEvery int
+	// Stall, when non-nil, blocks every Infer call until the channel is
+	// closed — the stalled-consumer fault: the replica is checked out and
+	// making no progress.
+	Stall <-chan struct{}
+	// Entered, when non-nil, gets a non-blocking signal as each Infer call
+	// starts, so tests can observe that the replica is checked out and
+	// inside the forward pass (stalled or about to be delayed).
+	Entered chan<- struct{}
+
+	calls atomic.Int64
+}
+
+// Infer applies the configured faults, then delegates to the wrapped
+// replica.
+func (c *ChaosReplica) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if c.Entered != nil {
+		select {
+		case c.Entered <- struct{}{}:
+		default:
+		}
+	}
+	if c.Stall != nil {
+		<-c.Stall
+	}
+	if c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
+	n := c.calls.Add(1)
+	if c.PanicEvery > 0 && n%int64(c.PanicEvery) == 0 {
+		panic("faults: injected inference panic")
+	}
+	return c.R.Infer(x)
+}
+
+// WeightBytes delegates to the wrapped replica.
+func (c *ChaosReplica) WeightBytes() (shared, private int) {
+	return c.R.WeightBytes()
+}
+
+// Calls returns how many Infer calls have been attempted (including ones
+// that panicked).
+func (c *ChaosReplica) Calls() int64 { return c.calls.Load() }

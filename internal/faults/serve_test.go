@@ -1,0 +1,75 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dropback/internal/tensor"
+)
+
+// echoReplica is a minimal Replica: it returns its input and reports a fixed
+// weight footprint.
+type echoReplica struct{}
+
+func (echoReplica) Infer(x *tensor.Tensor) *tensor.Tensor { return x }
+func (echoReplica) WeightBytes() (shared, private int)    { return 128, 64 }
+
+func TestChaosReplicaPanicCadence(t *testing.T) {
+	c := &ChaosReplica{R: echoReplica{}, PanicEvery: 3}
+	x := tensor.New(1, 2)
+	panics := 0
+	for i := 1; i <= 9; i++ {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panics++
+					if !strings.Contains(p.(string), "injected") {
+						t.Errorf("panic value %v, want injected marker", p)
+					}
+				}
+			}()
+			c.Infer(x)
+		}()
+	}
+	if panics != 3 {
+		t.Errorf("%d panics in 9 calls with PanicEvery=3, want 3", panics)
+	}
+	if c.Calls() != 9 {
+		t.Errorf("Calls() = %d, want 9 (panicking calls count)", c.Calls())
+	}
+}
+
+func TestChaosReplicaDelayAndSignals(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	c := &ChaosReplica{R: echoReplica{}, Delay: 10 * time.Millisecond, Entered: entered}
+	start := time.Now()
+	c.Infer(tensor.New(1, 1))
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("Infer returned after %v, want >= 10ms delay", d)
+	}
+	select {
+	case <-entered:
+	default:
+		t.Error("no entry signal received")
+	}
+	if sh, pr := c.WeightBytes(); sh != 128 || pr != 64 {
+		t.Errorf("WeightBytes = (%d, %d), want pass-through (128, 64)", sh, pr)
+	}
+}
+
+func TestChaosReplicaStall(t *testing.T) {
+	stall := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	c := &ChaosReplica{R: echoReplica{}, Stall: stall, Entered: entered}
+	done := make(chan struct{})
+	go func() { defer close(done); c.Infer(tensor.New(1, 1)) }()
+	<-entered
+	select {
+	case <-done:
+		t.Fatal("Infer returned while stalled")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(stall)
+	<-done
+}

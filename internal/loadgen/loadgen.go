@@ -1,0 +1,339 @@
+// Package loadgen is an open-loop HTTP load generator for the serving
+// layer. Open-loop means arrivals follow a fixed schedule regardless of how
+// fast the server answers — the client never waits for a response before
+// sending the next request, so server slowdowns show up as queueing and
+// shedding instead of silently throttling the offered load (the
+// coordinated-omission trap a closed-loop client falls into).
+//
+// Each arrival is assigned a priority tier by a seeded weighted draw, sent
+// as a /v1/predict request with the X-Priority header, and classified from
+// the response: 200 is a success (latency recorded from the scheduled
+// arrival time, so queueing delay counts), 429 is a shed, anything else is
+// a failure. Arrivals that would exceed the client's own in-flight cap are
+// counted as drops rather than delayed — the schedule must not degrade.
+//
+// Reports serialize either as JSON (for humans and history) or as Go
+// benchmark lines (WriteBenchLines) so cmd/benchguard can gate per-tier p99
+// and shed-rate ceilings in CI exactly like any other benchmark.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dropback/internal/telemetry"
+)
+
+// TierMix is one entry of the traffic mix.
+type TierMix struct {
+	// Tier is the wire name sent in the X-Priority header (interactive,
+	// batch, best-effort).
+	Tier string `json:"tier"`
+	// Weight is the tier's relative share of arrivals.
+	Weight float64 `json:"weight"`
+}
+
+// Config configures one load run.
+type Config struct {
+	// URL is the server base URL (e.g. http://127.0.0.1:8080).
+	URL string
+	// Client optionally overrides the HTTP client. Nil uses a dedicated
+	// client with sensible connection reuse.
+	Client *http.Client
+	// RPS is the open-loop arrival rate (required, > 0).
+	RPS float64
+	// Duration is how long arrivals are generated (required, > 0).
+	Duration time.Duration
+	// Tiers is the traffic mix; empty means 100% interactive.
+	Tiers []TierMix
+	// InputLen is the model's flat input length (required, > 0); inputs are
+	// generated deterministically from Seed.
+	InputLen int
+	// RequestTimeout bounds one request (default 10s).
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrent in-flight requests client-side (default
+	// 4×RPS, min 64); arrivals beyond the cap are counted as dropped.
+	MaxInFlight int
+	// Seed drives input generation and the tier draw (default 1).
+	Seed int64
+}
+
+// TierReport is the per-tier outcome of a run.
+type TierReport struct {
+	Tier string `json:"tier"`
+	// Sent counts requests put on the wire; Dropped counts arrivals the
+	// client shed itself at its in-flight cap (never sent).
+	Sent    uint64 `json:"sent"`
+	Dropped uint64 `json:"dropped"`
+	// OK counts 200s, Shed counts 429s, Failed counts everything else
+	// (transport errors, 5xx, timeouts).
+	OK     uint64 `json:"ok"`
+	Shed   uint64 `json:"shed"`
+	Failed uint64 `json:"failed"`
+	// Latency quantiles over successful requests, measured from the
+	// scheduled arrival time (queueing and shedding delay included).
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+	// Throughput is OK responses per second over the run duration.
+	Throughput float64 `json:"throughput_rps"`
+	// ShedRate is Shed/Sent (0 when nothing was sent).
+	ShedRate float64 `json:"shed_rate"`
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	// OfferedRPS and Duration echo the configuration; Wall is the measured
+	// wall time including waiting for stragglers.
+	OfferedRPS float64       `json:"offered_rps"`
+	Duration   time.Duration `json:"duration_ns"`
+	Wall       time.Duration `json:"wall_ns"`
+	// Tiers holds per-tier outcomes in mix order.
+	Tiers []TierReport `json:"tiers"`
+	// Totals across tiers.
+	Sent   uint64 `json:"sent"`
+	OK     uint64 `json:"ok"`
+	Shed   uint64 `json:"shed"`
+	Failed uint64 `json:"failed"`
+}
+
+// tierState is the mutable per-tier accumulator.
+type tierState struct {
+	name                       string
+	sent, ok, shed, fail, drop atomic.Uint64
+	mu                         sync.Mutex
+	lat                        telemetry.Histogram
+}
+
+// Run executes one open-loop load run and returns the report. A cancelled
+// context stops generating arrivals early; requests already in flight are
+// still awaited and counted.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.URL == "" {
+		return Report{}, errors.New("loadgen: Config.URL is required")
+	}
+	if cfg.RPS <= 0 {
+		return Report{}, fmt.Errorf("loadgen: RPS %g, want > 0", cfg.RPS)
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("loadgen: Duration %v, want > 0", cfg.Duration)
+	}
+	if cfg.InputLen <= 0 {
+		return Report{}, fmt.Errorf("loadgen: InputLen %d, want > 0", cfg.InputLen)
+	}
+	mix := cfg.Tiers
+	if len(mix) == 0 {
+		mix = []TierMix{{Tier: "interactive", Weight: 1}}
+	}
+	totalWeight := 0.0
+	for _, m := range mix {
+		if m.Weight < 0 {
+			return Report{}, fmt.Errorf("loadgen: negative weight for tier %q", m.Tier)
+		}
+		totalWeight += m.Weight
+	}
+	if totalWeight <= 0 {
+		return Report{}, errors.New("loadgen: tier mix has zero total weight")
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = int(4 * cfg.RPS)
+		if cfg.MaxInFlight < 64 {
+			cfg.MaxInFlight = 64
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInFlight,
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+		}}
+	}
+
+	// Pre-marshal a small rotation of deterministic request bodies: varied
+	// inputs exercise canary hash routing, and reusing marshaled bytes keeps
+	// the generator itself cheap enough not to perturb the schedule.
+	rng := rand.New(rand.NewSource(seed))
+	const nBodies = 16
+	bodies := make([][]byte, nBodies)
+	for i := range bodies {
+		in := make([]float32, cfg.InputLen)
+		for j := range in {
+			in[j] = rng.Float32()*2 - 1
+		}
+		b, err := json.Marshal(map[string][]float32{"input": in})
+		if err != nil {
+			return Report{}, err
+		}
+		bodies[i] = b
+	}
+
+	tiers := make([]*tierState, len(mix))
+	for i, m := range mix {
+		tiers[i] = &tierState{name: m.Tier}
+	}
+	// draw returns the tier index for one arrival.
+	draw := func() int {
+		x := rng.Float64() * totalWeight
+		for i, m := range mix {
+			if x -= m.Weight; x < 0 {
+				return i
+			}
+		}
+		return len(mix) - 1
+	}
+
+	var (
+		inflight atomic.Int64
+		wg       sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	predictURL := cfg.URL + "/v1/predict"
+	start := time.Now()
+	n := int(cfg.Duration.Seconds() * cfg.RPS)
+arrivals:
+	for i := 0; i < n; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if d := time.Until(scheduled); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break arrivals
+			}
+		}
+		ts := tiers[draw()]
+		body := bodies[i%nBodies]
+		if inflight.Load() >= int64(cfg.MaxInFlight) {
+			ts.drop.Add(1)
+			continue
+		}
+		inflight.Add(1)
+		ts.sent.Add(1)
+		wg.Add(1)
+		go func(ts *tierState, body []byte, scheduled time.Time) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			fire(client, predictURL, ts, body, scheduled, cfg.RequestTimeout)
+		}(ts, body, scheduled)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{OfferedRPS: cfg.RPS, Duration: cfg.Duration, Wall: wall}
+	for _, ts := range tiers {
+		tr := TierReport{
+			Tier:    ts.name,
+			Sent:    ts.sent.Load(),
+			Dropped: ts.drop.Load(),
+			OK:      ts.ok.Load(),
+			Shed:    ts.shed.Load(),
+			Failed:  ts.fail.Load(),
+		}
+		ts.mu.Lock()
+		tr.P50 = ts.lat.Quantile(0.5)
+		tr.P99 = ts.lat.Quantile(0.99)
+		tr.Max = ts.lat.Max()
+		ts.mu.Unlock()
+		if secs := cfg.Duration.Seconds(); secs > 0 {
+			tr.Throughput = float64(tr.OK) / secs
+		}
+		if tr.Sent > 0 {
+			tr.ShedRate = float64(tr.Shed) / float64(tr.Sent)
+		}
+		rep.Tiers = append(rep.Tiers, tr)
+		rep.Sent += tr.Sent
+		rep.OK += tr.OK
+		rep.Shed += tr.Shed
+		rep.Failed += tr.Failed
+	}
+	return rep, nil
+}
+
+// fire sends one predict request and classifies the outcome.
+func fire(client *http.Client, url string, ts *tierState, body []byte, scheduled time.Time, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(body))
+	if err != nil {
+		ts.fail.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Priority", ts.name)
+	resp, err := client.Do(req)
+	if err != nil {
+		ts.fail.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		ts.ok.Add(1)
+		lat := time.Since(scheduled)
+		ts.mu.Lock()
+		ts.lat.Observe(lat)
+		ts.mu.Unlock()
+	case resp.StatusCode == http.StatusTooManyRequests:
+		ts.shed.Add(1)
+	default:
+		ts.fail.Add(1)
+	}
+}
+
+// WriteBenchLines renders the report as Go benchmark lines so cmd/benchguard
+// can gate it alongside real benchmarks:
+//
+//	BenchmarkServeLoad/tier=<t>/p50          1  <ns>  ns/op  0 allocs/op
+//	BenchmarkServeLoad/tier=<t>/p99          1  <ns>  ns/op  0 allocs/op
+//	BenchmarkServeLoad/tier=<t>/ns_per_req   1  <ns>  ns/op  0 allocs/op
+//	BenchmarkServeLoad/tier=<t>/shed         1  <bp>  ns/op  <bp> allocs/op
+//
+// The shed line carries the shed rate in basis points as BOTH ns/op and
+// allocs/op: the alloc ceiling gates an absolute shed budget per tier (0 for
+// interactive), and -assert-faster 'interactive/shed<best-effort/shed'
+// proves shedding is confined to lower tiers. ns_per_req is the inverted
+// throughput (1e9/rps), so the standard "must not exceed baseline×ratio"
+// gate becomes a throughput floor.
+func WriteBenchLines(w io.Writer, rep Report) error {
+	for _, tr := range rep.Tiers {
+		prefix := "BenchmarkServeLoad/tier=" + tr.Tier
+		if tr.OK > 0 {
+			if _, err := fmt.Fprintf(w, "%s/p50 \t1\t%d ns/op\t0 B/op\t0 allocs/op\n", prefix, tr.P50.Nanoseconds()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s/p99 \t1\t%d ns/op\t0 B/op\t0 allocs/op\n", prefix, tr.P99.Nanoseconds()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s/ns_per_req \t1\t%d ns/op\t0 B/op\t0 allocs/op\n", prefix, int64(1e9/tr.Throughput)); err != nil {
+				return err
+			}
+		}
+		bp := int64(tr.ShedRate*10000 + 0.5)
+		if _, err := fmt.Fprintf(w, "%s/shed \t1\t%d ns/op\t0 B/op\t%d allocs/op\n", prefix, bp, bp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortTiers orders a report's tiers by name for stable output.
+func (r *Report) SortTiers() {
+	sort.Slice(r.Tiers, func(i, j int) bool { return r.Tiers[i].Tier < r.Tiers[j].Tier })
+}

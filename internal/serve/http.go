@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -14,12 +16,21 @@ import (
 // without letting a client exhaust memory.
 const maxPredictBody = 8 << 20
 
+// maxReloadBody bounds an inline reload artifact. DropBack artifacts are a
+// few MB at most (tracked weights only); 64 MB leaves generous headroom.
+const maxReloadBody = 64 << 20
+
 // HandlerConfig configures the HTTP front end.
 type HandlerConfig struct {
 	// RequestTimeout bounds one predict request end to end (queue wait +
 	// inference). 0 means no server-imposed timeout. Expired requests get
 	// HTTP 504.
 	RequestTimeout time.Duration
+	// ReloadPath optionally names the artifact file POST /v1/reload reads
+	// when the request body carries the JSON form {"path": "..."} with an
+	// empty path, and the file SIGHUP reloads from. Requests may also ship
+	// artifact bytes inline (non-JSON body) or name any path explicitly.
+	ReloadPath string
 }
 
 // PredictRequest is the /v1/predict request body.
@@ -29,6 +40,16 @@ type PredictRequest struct {
 	Input []float32 `json:"input"`
 }
 
+// ReloadRequest is the JSON form of the /v1/reload request body.
+type ReloadRequest struct {
+	// Path names the artifact file on the server's filesystem. Empty falls
+	// back to HandlerConfig.ReloadPath.
+	Path string `json:"path"`
+	// CanaryPercent routes this share of traffic to the new version (0
+	// swaps immediately). See ReloadOptions.
+	CanaryPercent int `json:"canary_percent"`
+}
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
@@ -36,16 +57,27 @@ type errorBody struct {
 
 // NewHandler exposes a Server over HTTP:
 //
-//	POST /v1/predict  {"input": [...]} -> {"class", "probs", "batch_size"}
+//	POST /v1/predict  {"input": [...]} -> {"class", "probs", "batch_size", "version"}
+//	POST /v1/reload   {"path", "canary_percent"} or raw artifact bytes -> ReloadResult
 //	GET  /healthz     liveness  (200 while the process runs)
 //	GET  /readyz      readiness (200 accepting traffic, 503 draining)
 //	GET  /statsz      Stats snapshot as JSON
 //
-// Error mapping: bad input 400, queue overflow 429 (with Retry-After),
-// draining 503, request timeout 504, inference failure 500.
+// Predict requests carry their priority tier in the X-Priority header
+// (interactive, batch, or best-effort; absent means interactive).
+//
+// Error mapping: bad input 400, queue overflow 429 (with a Retry-After
+// computed from queue depth and the observed drain rate), draining 503,
+// request timeout 504, inference failure 500. Reload: not configured 501,
+// concurrent reload 409, rejected artifact 422.
 func NewHandler(s *Server, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		tier, err := ParseTier(r.Header.Get(TierHeader))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxPredictBody)
 		var req PredictRequest
 		dec := json.NewDecoder(r.Body)
@@ -60,19 +92,69 @@ func NewHandler(s *Server, hc HandlerConfig) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, hc.RequestTimeout)
 			defer cancel()
 		}
-		pred, err := s.Predict(ctx, req.Input)
+		pred, err := s.PredictTier(ctx, req.Input, tier)
 		switch {
 		case err == nil:
 			writeJSON(w, http.StatusOK, pred)
 		case errors.Is(err, ErrBadInput):
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		case errors.Is(err, ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.RetryAfterSeconds()))
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
 		case errors.Is(err, ErrDraining):
 			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: "request timed out"})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		}
+	})
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxReloadBody)
+		var res ReloadResult
+		var err error
+		if ct := r.Header.Get("Content-Type"); ct == "" || ct == "application/json" {
+			var req ReloadRequest
+			dec := json.NewDecoder(r.Body)
+			dec.DisallowUnknownFields()
+			// An empty body (io.EOF) means "use defaults", so a bare
+			// `curl -X POST /v1/reload` reloads from the configured path.
+			if derr := dec.Decode(&req); derr != nil && !errors.Is(derr, io.EOF) {
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decoding request: %v", derr)})
+				return
+			}
+			path := req.Path
+			if path == "" {
+				path = hc.ReloadPath
+			}
+			if path == "" {
+				writeJSON(w, http.StatusBadRequest, errorBody{Error: "no artifact path: set \"path\" in the request or configure a default"})
+				return
+			}
+			res, err = s.ReloadFile(path, ReloadOptions{CanaryPercent: req.CanaryPercent})
+		} else {
+			// Raw artifact bytes; canary percent via query parameter.
+			pct := 0
+			if q := r.URL.Query().Get("canary_percent"); q != "" {
+				pct, err = strconv.Atoi(q)
+				if err != nil {
+					writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("canary_percent: %v", err)})
+					return
+				}
+			}
+			res, err = s.Reload(r.Body, ReloadOptions{CanaryPercent: pct})
+		}
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, res)
+		case errors.Is(err, ErrReloadUnsupported):
+			writeJSON(w, http.StatusNotImplemented, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrReloadInProgress):
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrBadInput):
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		case errors.Is(err, ErrBadArtifact):
+			writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
 		default:
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -103,8 +104,47 @@ func NewPool(n int, build func() (Replica, error)) (*Pool, error) {
 // caller owns it exclusively until Release.
 func (p *Pool) Acquire() Replica { return <-p.replicas }
 
+// AcquireCtx checks a replica out of the pool, giving up with ctx.Err() when
+// the context ends first. A free replica is preferred over a simultaneously
+// done context, so a caller with work to do never fails spuriously.
+func (p *Pool) AcquireCtx(ctx context.Context) (Replica, error) {
+	select {
+	case r := <-p.replicas:
+		return r, nil
+	default:
+	}
+	select {
+	case r := <-p.replicas:
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire checks a replica out without blocking; ok is false when every
+// replica is busy.
+func (p *Pool) TryAcquire() (Replica, bool) {
+	select {
+	case r := <-p.replicas:
+		return r, true
+	default:
+		return nil, false
+	}
+}
+
 // Release returns a replica to the pool.
 func (p *Pool) Release(r Replica) { p.replicas <- r }
+
+// Drain removes every replica from the pool, blocking until all of them have
+// been released, and never hands them out again — the teardown path for a
+// retired version's pool. Callers must guarantee no further Acquire will be
+// attempted (the version pinning protocol in version.go does), otherwise that
+// Acquire would block forever.
+func (p *Pool) Drain() {
+	for i := 0; i < p.size; i++ {
+		<-p.replicas
+	}
+}
 
 // Size returns the number of replicas.
 func (p *Pool) Size() int { return p.size }

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestParseTier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Tier
+	}{
+		{"", TierInteractive},
+		{"interactive", TierInteractive},
+		{"batch", TierBatch},
+		{"best-effort", TierBestEffort},
+		{"besteffort", TierBestEffort},
+	}
+	for _, c := range cases {
+		got, err := ParseTier(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseTier(%q) = %v, %v; want %v, nil", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseTier("urgent"); !errors.Is(err, ErrBadInput) {
+		t.Errorf("ParseTier(urgent) = %v, want ErrBadInput", err)
+	}
+	if got := TierBatch.String(); got != "batch" {
+		t.Errorf("TierBatch.String() = %q", got)
+	}
+	if got := Tier(9).String(); got != "tier(9)" {
+		t.Errorf("Tier(9).String() = %q", got)
+	}
+}
+
+func TestTierShedConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.TierShedAt = [NumTiers]float64{0.4, 0.7, 1.0} // increasing: wrong way
+	if _, err := New(cfg); err == nil {
+		t.Error("increasing TierShedAt accepted, want error (must shed lowest tier first)")
+	}
+	cfg = testConfig()
+	cfg.TierShedAt = [NumTiers]float64{1.0, 0.7, -0.1}
+	if _, err := New(cfg); err == nil {
+		t.Error("negative TierShedAt accepted, want error")
+	}
+	cfg = testConfig()
+	cfg.TierShedAt = [NumTiers]float64{1.0, 1.0, 1.0} // uniform: allowed
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("uniform TierShedAt rejected: %v", err)
+	}
+	s.Close()
+}
+
+func TestPredictTierInvalidTier(t *testing.T) {
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.PredictTier(context.Background(), make([]float32, 16), Tier(7)); !errors.Is(err, ErrBadInput) {
+		t.Errorf("PredictTier with tier 7: got %v, want ErrBadInput", err)
+	}
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Serving performance gate, run by CI and `make serve-load`:
+#
+#   1. BenchmarkServePredict (go test) — the request-path alloc ceiling;
+#   2. an open-loop load run: dropback-loadgen offers 2x a capacity-limited
+#      server's throughput (-slow-replica pins service time) with a mixed
+#      interactive/batch/best-effort tier split;
+#   3. cmd/benchguard checks both against BENCH_serve.json: per-request
+#      allocs, interactive p50/p99 ceilings, the interactive shed budget,
+#      and — via -assert-faster — that shedding lands on best-effort
+#      strictly before interactive (graceful degradation, measured).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${SERVE_LOAD_ADDR:-127.0.0.1:18081}"
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "==> request-path micro-benchmark (BenchmarkServePredict)"
+go test -bench BenchmarkServePredict -benchmem -benchtime 50x \
+    -run '^$' ./internal/serve | tee "$TMP/bench.out"
+
+echo "==> training a tiny artifact"
+go run ./cmd/dropback -model mnist100 -method dropback -budget 10000 \
+    -epochs 1 -samples 400 -seed 1 -export-sparse "$TMP/model.dbsp"
+
+echo "==> starting a capacity-limited server (~20 rps: 1 replica x 50ms)"
+go build -o "$TMP/dropback-serve" ./cmd/dropback-serve
+go build -o "$TMP/dropback-loadgen" ./cmd/dropback-loadgen
+"$TMP/dropback-serve" -artifact "$TMP/model.dbsp" -model mnist100 -seed 1 \
+    -addr "$ADDR" -replicas 1 -max-batch 1 -queue 8 -timeout 10s \
+    -slow-replica 50ms >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "server exited early:"; cat "$TMP/serve.log"; exit 1
+    fi
+    sleep 0.2
+done
+curl -sf "http://$ADDR/readyz" >/dev/null || { echo "server never became ready"; cat "$TMP/serve.log"; exit 1; }
+
+echo "==> open-loop overload: 40 rps offered against ~20 rps capacity"
+"$TMP/dropback-loadgen" -url "http://$ADDR" -rps 40 -duration 5s \
+    -tiers "interactive=1,batch=1,best-effort=2" -input-len 784 -seed 1 \
+    -json "$TMP/load_report.json" -bench | tee -a "$TMP/bench.out"
+
+kill -TERM "$SERVE_PID"
+EXIT_CODE=0
+wait "$SERVE_PID" || EXIT_CODE=$?
+SERVE_PID=""
+if [ "$EXIT_CODE" -ne 0 ]; then
+    echo "server exited $EXIT_CODE on SIGTERM, want 0:"; cat "$TMP/serve.log"; exit 1
+fi
+
+echo "==> gating per-tier curves against BENCH_serve.json"
+go run ./cmd/benchguard -baseline BENCH_serve.json -input "$TMP/bench.out" \
+    -assert-faster 'BenchmarkServeLoad/tier=interactive/shed<BenchmarkServeLoad/tier=best-effort/shed'
+
+echo "==> serve load gate OK"

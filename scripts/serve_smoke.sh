@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke test, run by CI and `make serve-smoke`:
 # train briefly -> export the sparse artifact -> start dropback-serve ->
-# round-trip a prediction over HTTP -> check health/stats endpoints ->
+# round-trip a prediction over HTTP -> live-reload to a retrained v2
+# artifact with zero downtime (and prove a corrupt artifact is rejected
+# with the live version untouched) -> check health/stats endpoints ->
 # SIGTERM and require a graceful zero-exit drain. Then repeat the round
 # trip against a sparse-native server (-sparse) and require its prediction
 # to match the dense server's byte for byte.
@@ -66,6 +68,48 @@ echo "    $STATS"
 case "$STATS" in
     *'"requests":'*) ;;
     *) echo "statsz missing request counters"; exit 1 ;;
+esac
+
+echo "==> training a v2 artifact for the live reload"
+go run ./cmd/dropback -model mnist100 -method dropback -budget 10000 \
+    -epochs 2 -samples 400 -seed 1 -export-sparse "$TMP/model_v2.dbsp"
+
+echo "==> live reload round trip (zero downtime)"
+RELOAD="$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d "{\"path\":\"$TMP/model_v2.dbsp\"}" "http://$ADDR/v1/reload")"
+echo "    $RELOAD"
+case "$RELOAD" in
+    *'"version":"v2-'*) ;;
+    *) echo "reload did not produce a v2 version"; exit 1 ;;
+esac
+case "$RELOAD" in
+    *'"swapped":true'*) ;;
+    *) echo "reload did not swap the new version in for all traffic"; exit 1 ;;
+esac
+RESP2="$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @"$TMP/payload.json" "http://$ADDR/v1/predict")"
+echo "    $RESP2"
+case "$RESP2" in
+    *'"version":"v2-'*) ;;
+    *) echo "prediction still served by the old version after reload"; exit 1 ;;
+esac
+
+echo "==> corrupt reload is rejected, live version untouched"
+head -c 64 "$TMP/model_v2.dbsp" >"$TMP/torn.dbsp"
+STATUS="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/octet-stream' \
+    --data-binary @"$TMP/torn.dbsp" "http://$ADDR/v1/reload")"
+[ "$STATUS" = "422" ] || { echo "torn artifact returned $STATUS, want 422"; exit 1; }
+RESP3="$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data @"$TMP/payload.json" "http://$ADDR/v1/predict")"
+case "$RESP3" in
+    *'"version":"v2-'*) ;;
+    *) echo "rejected reload disturbed the serving version"; exit 1 ;;
+esac
+STATS="$(curl -sf "http://$ADDR/statsz")"
+case "$STATS" in
+    *'"reloads":1'*) ;;
+    *) echo "statsz does not record exactly one verified reload: $STATS"; exit 1 ;;
 esac
 
 echo "==> graceful drain on SIGTERM"
