@@ -56,7 +56,7 @@ bench-guard:
 # executor) must stay under the allocs/op ceilings and within max_ns_ratio
 # of the ns/op baselines in BENCH_train.json.
 bench-guard-train:
-	$(GO) test -bench BenchmarkTrainStep -benchmem -benchtime 20x \
+	$(GO) test -bench 'BenchmarkTrainStep|BenchmarkSparseTrainStep' -benchmem -benchtime 20x \
 		-run '^$$' . > bench_train.out
 	$(GO) run ./cmd/benchguard -baseline BENCH_train.json -input bench_train.out
 

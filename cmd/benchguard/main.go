@@ -9,6 +9,9 @@
 //     by more than the max_ns_ratio factor — a relative gate, so it
 //     tolerates hardware differences between the baseline machine and CI
 //     runners while still catching order-of-magnitude regressions;
+//   - custom b.ReportMetric units (e.g. tracked-bytes, weight-state-frac)
+//     must not exceed their committed ceilings (max_metrics, a map of
+//     benchmark name → unit → ceiling);
 //   - any guarded benchmark missing from the input fails the run.
 //
 // Usage:
@@ -48,17 +51,21 @@ import (
 // it records before/after measurements for humans and is preserved on
 // -update.
 type baseline struct {
-	Description string             `json:"description"`
-	History     json.RawMessage    `json:"history,omitempty"`
-	MaxAllocs   map[string]int     `json:"max_allocs_per_op"`
-	MaxNsRatio  float64            `json:"max_ns_ratio,omitempty"`
-	BaselineNs  map[string]float64 `json:"baseline_ns_per_op,omitempty"`
+	Description string                        `json:"description"`
+	History     json.RawMessage               `json:"history,omitempty"`
+	MaxAllocs   map[string]int                `json:"max_allocs_per_op"`
+	MaxNsRatio  float64                       `json:"max_ns_ratio,omitempty"`
+	BaselineNs  map[string]float64            `json:"baseline_ns_per_op,omitempty"`
+	MaxMetrics  map[string]map[string]float64 `json:"max_metrics,omitempty"`
 }
 
-// result is one parsed benchmark line.
+// result is one parsed benchmark line. Metrics holds the custom
+// b.ReportMetric columns (anything that is not ns/op, B/op, allocs/op, or
+// MB/s), keyed by unit.
 type result struct {
 	NsPerOp     float64
 	AllocsPerOp int
+	Metrics     map[string]float64
 }
 
 func main() {
@@ -135,11 +142,14 @@ func main() {
 // check runs the alloc-ceiling and ns-ratio gates and returns human-readable
 // status lines plus the list of failures (empty when everything passes).
 func check(base *baseline, results map[string]result) (lines, failures []string) {
-	names := make(map[string]bool, len(base.MaxAllocs)+len(base.BaselineNs))
+	names := make(map[string]bool, len(base.MaxAllocs)+len(base.BaselineNs)+len(base.MaxMetrics))
 	for name := range base.MaxAllocs {
 		names[name] = true
 	}
 	for name := range base.BaselineNs {
+		names[name] = true
+	}
+	for name := range base.MaxMetrics {
 		names[name] = true
 	}
 	sorted := make([]string, 0, len(names))
@@ -165,6 +175,24 @@ func check(base *baseline, results map[string]result) (lines, failures []string)
 					name, r.NsPerOp, limit, baseNs, base.MaxNsRatio))
 			}
 		}
+		if guards := base.MaxMetrics[name]; len(guards) > 0 {
+			units := make([]string, 0, len(guards))
+			for unit := range guards {
+				units = append(units, unit)
+			}
+			sort.Strings(units)
+			for _, unit := range units {
+				v, present := r.Metrics[unit]
+				switch {
+				case !present:
+					status = "FAIL"
+					failures = append(failures, fmt.Sprintf("%s: guarded metric %q missing from input", name, unit))
+				case v > guards[unit]:
+					status = "FAIL"
+					failures = append(failures, fmt.Sprintf("%s: %g %s exceeds ceiling %g", name, v, unit, guards[unit]))
+				}
+			}
+		}
 		lines = append(lines, fmt.Sprintf("benchguard: %-40s %8d allocs/op (ceiling %d) %10.0f ns/op  %s",
 			name, r.AllocsPerOp, allocCeiling(base, name), r.NsPerOp, status))
 	}
@@ -180,7 +208,9 @@ func allocCeiling(base *baseline, name string) int {
 
 // updateBaseline rewrites every guarded entry from the observed results:
 // alloc ceilings get 2× + 16 headroom, ns baselines record the raw
-// observation (the ratio gate supplies the headroom there).
+// observation (the ratio gate supplies the headroom there), and custom
+// metric ceilings get 1.25× headroom (they are deterministic byte counts or
+// ratios, not timings).
 func updateBaseline(base *baseline, results map[string]result) {
 	for name, r := range results {
 		if _, guarded := base.MaxAllocs[name]; guarded {
@@ -188,6 +218,11 @@ func updateBaseline(base *baseline, results map[string]result) {
 		}
 		if _, guarded := base.BaselineNs[name]; guarded {
 			base.BaselineNs[name] = r.NsPerOp
+		}
+		for unit := range base.MaxMetrics[name] {
+			if v, present := r.Metrics[unit]; present {
+				base.MaxMetrics[name][unit] = v * 1.25
+			}
 		}
 	}
 }
@@ -228,7 +263,7 @@ func parseBench(r io.Reader) (map[string]result, error) {
 		}
 		res := result{AllocsPerOp: -1}
 		for i := 2; i < len(fields)-1; i++ {
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				v, err := strconv.ParseFloat(fields[i], 64)
 				if err != nil {
@@ -241,6 +276,19 @@ func parseBench(r io.Reader) (map[string]result, error) {
 					return nil, fmt.Errorf("bad allocs/op %q: %v", fields[i], err)
 				}
 				res.AllocsPerOp = v
+			case "B/op", "MB/s":
+				// standard -benchmem columns, not guarded
+			default:
+				// A custom b.ReportMetric column; units never start with a
+				// digit, which keeps iteration counts and values out.
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil || unit == "" || (unit[0] >= '0' && unit[0] <= '9') {
+					continue
+				}
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
 			}
 		}
 		if res.AllocsPerOp < 0 {

@@ -13,6 +13,7 @@ BenchmarkTrainStep/workers=1         	      10	   4731490 ns/op	   33616 B/op	  
 BenchmarkTrainStep/workers=2-4       	      10	   2938770 ns/op	   29544 B/op	      63 allocs/op
 BenchmarkTrainStep/workers=4-4       	      10	   1801659 ns/op	   30760 B/op	     121 allocs/op
 BenchmarkMatMul-4                    	     100	     91234 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSparseTrainStep-4           	      20	  10896996 ns/op	    109494 tracked-bytes	         0.1527 weight-state-frac	    4360 B/op	      13 allocs/op
 PASS
 ok  	dropback	0.320s
 `
@@ -33,6 +34,7 @@ func TestParseBenchStripsProcsSuffix(t *testing.T) {
 		"BenchmarkTrainStep/workers=2": {NsPerOp: 2938770, AllocsPerOp: 63},
 		"BenchmarkTrainStep/workers=4": {NsPerOp: 1801659, AllocsPerOp: 121},
 		"BenchmarkMatMul":              {NsPerOp: 91234, AllocsPerOp: 0},
+		"BenchmarkSparseTrainStep":     {NsPerOp: 10896996, AllocsPerOp: 13},
 	}
 	if len(results) != len(want) {
 		t.Fatalf("parsed %d results, want %d: %+v", len(results), len(want), results)
@@ -42,9 +44,56 @@ func TestParseBenchStripsProcsSuffix(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %q", name)
 		}
-		if got != w {
+		if got.NsPerOp != w.NsPerOp || got.AllocsPerOp != w.AllocsPerOp {
 			t.Fatalf("%s: got %+v, want %+v", name, got, w)
 		}
+	}
+}
+
+// TestParseBenchCustomMetrics pins the b.ReportMetric columns: custom units
+// land in Metrics, standard -benchmem columns do not.
+func TestParseBenchCustomMetrics(t *testing.T) {
+	results := parseSample(t)
+	got := results["BenchmarkSparseTrainStep"].Metrics
+	if len(got) != 2 || got["tracked-bytes"] != 109494 || got["weight-state-frac"] != 0.1527 {
+		t.Fatalf("custom metrics = %v, want tracked-bytes=109494 weight-state-frac=0.1527", got)
+	}
+	if results["BenchmarkMatMul"].Metrics != nil {
+		t.Fatalf("plain benchmark grew metrics: %v", results["BenchmarkMatMul"].Metrics)
+	}
+}
+
+// TestCheckMetricCeiling is the acceptance check for the max_metrics gate:
+// a metric over its ceiling fails, a guarded-but-absent metric fails, and
+// exact-ceiling observations pass.
+func TestCheckMetricCeiling(t *testing.T) {
+	results := parseSample(t)
+	base := &baseline{MaxMetrics: map[string]map[string]float64{
+		"BenchmarkSparseTrainStep": {
+			"tracked-bytes":     109493, // observed 109494 → must fail
+			"weight-state-frac": 0.20,
+		},
+	}}
+	_, failures := check(base, results)
+	if len(failures) != 1 || !strings.Contains(failures[0], "tracked-bytes exceeds ceiling") {
+		t.Fatalf("want one metric-ceiling failure, got %v", failures)
+	}
+
+	base.MaxMetrics["BenchmarkSparseTrainStep"]["tracked-bytes"] = 109494
+	if _, failures := check(base, results); len(failures) != 0 {
+		t.Fatalf("want pass at exact ceiling, got %v", failures)
+	}
+
+	base.MaxMetrics["BenchmarkSparseTrainStep"]["absent-unit"] = 1
+	_, failures = check(base, results)
+	if len(failures) != 1 || !strings.Contains(failures[0], `guarded metric "absent-unit" missing`) {
+		t.Fatalf("want missing-metric failure, got %v", failures)
+	}
+
+	base = &baseline{MaxMetrics: map[string]map[string]float64{"BenchmarkAbsent": {"tracked-bytes": 1}}}
+	_, failures = check(base, results)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from input") {
+		t.Fatalf("want missing-benchmark failure for metric-only guard, got %v", failures)
 	}
 }
 
@@ -159,5 +208,19 @@ func TestUpdateBaseline(t *testing.T) {
 	}
 	if got := base.BaselineNs["BenchmarkTrainStep/workers=1"]; got != 4731490 {
 		t.Fatalf("ns baseline = %v, want 4731490", got)
+	}
+}
+
+func TestUpdateBaselineMetrics(t *testing.T) {
+	results := parseSample(t)
+	base := &baseline{MaxMetrics: map[string]map[string]float64{
+		"BenchmarkSparseTrainStep": {"tracked-bytes": 1, "absent-unit": 7},
+	}}
+	updateBaseline(base, results)
+	if got := base.MaxMetrics["BenchmarkSparseTrainStep"]["tracked-bytes"]; got != 109494*1.25 {
+		t.Fatalf("metric ceiling = %v, want %v", got, 109494*1.25)
+	}
+	if got := base.MaxMetrics["BenchmarkSparseTrainStep"]["absent-unit"]; got != 7 {
+		t.Fatalf("unobserved metric ceiling rewritten to %v", got)
 	}
 }

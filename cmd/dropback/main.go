@@ -42,6 +42,7 @@ func run() error {
 		budget   = flag.Int("budget", 10000, "DropBack tracked-weight budget")
 		freeze   = flag.Int("freeze", -1, "freeze tracked set after this epoch (-1: never)")
 		strategy = flag.String("topk", "quickselect", "DropBack top-k engine: quickselect | heap")
+		sparseT  = flag.Bool("sparse-train", false, "DropBack sparse-native training: optimizer state scales with the budget, bit-identical results")
 		pruneF   = flag.Float64("prune-fraction", 0.75, "magnitude/slimming prune fraction")
 		epochs   = flag.Int("epochs", 10, "training epochs")
 		batch    = flag.Int("batch", 32, "mini-batch size")
@@ -108,6 +109,9 @@ func run() error {
 	if *resume && *ckptDir == "" {
 		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
+	if *sparseT && *method != "dropback" {
+		return fmt.Errorf("-sparse-train requires -method dropback")
+	}
 	if *workers > 1 {
 		cfg.Workers = *workers
 		cfg.WorkerModel = func() (*dropback.Model, error) {
@@ -130,6 +134,7 @@ func run() error {
 		cfg.Method = dropback.MethodDropBack
 		cfg.Budget = *budget
 		cfg.FreezeAfterEpoch = *freeze
+		cfg.SparseTrain = *sparseT
 		if *strategy == "heap" {
 			cfg.Strategy = core.StrategyHeap
 		}

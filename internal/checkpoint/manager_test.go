@@ -38,7 +38,7 @@ func sampleTrainState(step int) *TrainState {
 			StepCount:     step,
 			Regenerations: 1234,
 			TrackedWrites: 567,
-			SwapHistory:   []int{3, 1, 0, 2},
+			Swaps:         core.SwapSummary{Steps: 4, Total: 6, Max: 3, Last: 2},
 		},
 	}
 }
@@ -224,10 +224,8 @@ func TestTrainStateRoundTrip(t *testing.T) {
 			t.Fatalf("Mask[%d] = %v, want %v", i, db.Mask[i], v)
 		}
 	}
-	for i, v := range want.DropBack.SwapHistory {
-		if db.SwapHistory[i] != v {
-			t.Fatalf("SwapHistory[%d] = %d, want %d", i, db.SwapHistory[i], v)
-		}
+	if db.Swaps != want.DropBack.Swaps {
+		t.Fatalf("Swaps = %+v, want %+v", db.Swaps, want.DropBack.Swaps)
 	}
 }
 

@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dropback/internal/core"
+)
+
+// TestCheckpointSizeIndependentOfStepCount is the regression test for the
+// swap-history bloat bug: before format 2, the TRST payload carried one
+// int32 per completed training step, so checkpoints grew without bound on
+// long runs. With the SwapSummary encoding the file size must be identical
+// whether the run is 10 steps or a million steps old.
+func TestCheckpointSizeIndependentOfStepCount(t *testing.T) {
+	dir := t.TempDir()
+	sizeAt := func(steps int) int64 {
+		ts := sampleTrainState(7)
+		ts.DropBack.StepCount = steps
+		ts.DropBack.Swaps = core.SwapSummary{Steps: steps, Total: int64(steps) * 2, Max: 9, Last: 1}
+		path := filepath.Join(dir, fmt.Sprintf("ck-%d.dbck", steps))
+		if err := SaveTrain(path, trainedModel(3), ts); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	small := sizeAt(10)
+	big := sizeAt(1_000_000)
+	if small != big {
+		t.Fatalf("checkpoint size depends on step count: %d bytes at 10 steps vs %d bytes at 1M steps", small, big)
+	}
+}
+
+// writeTrainPayloadV1 reproduces the format-1 encoder for a minimal
+// TrainState (empty collections) whose DropBack tail stores the full swap
+// series — the shape old checkpoints have on disk.
+func writeTrainPayloadV1(ts *TrainState, series []int) []byte {
+	var buf bytes.Buffer
+	e := &ew{w: &buf}
+	e.write(uint32(1)) // format
+	e.write(int64(ts.Epoch))
+	e.write(int64(ts.Step))
+	e.write(math.Float32bits(ts.LRScale))
+	e.write(int32(ts.Retries))
+
+	e.write(int64(ts.BestEpoch))
+	e.write(ts.BestValAcc)
+	e.write(int64(ts.SinceBest))
+	e.floats(nil)      // best params
+	e.write(uint32(0)) // best BN
+	e.write(uint32(0)) // history
+	e.write(ts.Batcher.RNG)
+	e.write(int64(ts.Batcher.Pos))
+	e.write(uint64(0)) // permutation
+	e.str(ts.OptName)
+	e.write(uint32(0)) // optimizer state
+	e.write(uint32(0)) // layer RNG
+
+	db := ts.DropBack
+	e.bool(db != nil)
+	if db != nil {
+		e.bool(db.Frozen)
+		e.bool(db.HaveSelection)
+		e.write(int64(db.StepCount))
+		e.write(db.Regenerations)
+		e.write(db.TrackedWrites)
+		e.write(uint64(len(db.Mask)))
+		packed := make([]byte, (len(db.Mask)+7)/8)
+		for i, m := range db.Mask {
+			if m {
+				packed[i/8] |= 1 << (i % 8)
+			}
+		}
+		e.bytes(packed)
+		e.write(uint32(len(series)))
+		for _, s := range series {
+			e.write(int32(s))
+		}
+	}
+	if e.err != nil {
+		panic(e.err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadFormat1SwapSeriesCompat proves old (format-1) train states still
+// load: the stored per-step swap series is collapsed into the SwapSummary
+// new code carries.
+func TestReadFormat1SwapSeriesCompat(t *testing.T) {
+	old := &TrainState{
+		Epoch:   3,
+		Step:    42,
+		LRScale: 1,
+		OptName: "sgd",
+		DropBack: &core.State{
+			Frozen:        false,
+			HaveSelection: true,
+			Mask:          []bool{true, false, true, false, true},
+			StepCount:     4,
+			Regenerations: 11,
+			TrackedWrites: 7,
+		},
+	}
+	series := []int{3, 1, 0, 2}
+	payload := writeTrainPayloadV1(old, series)
+	ts, err := readTrainPayload(bytes.NewReader(payload))
+	if err != nil {
+		t.Fatalf("reading format-1 payload: %v", err)
+	}
+	if ts.Step != 42 || ts.Epoch != 3 || ts.OptName != "sgd" {
+		t.Fatalf("scalar fields differ: %+v", ts)
+	}
+	db := ts.DropBack
+	if db == nil || !db.HaveSelection || db.StepCount != 4 ||
+		db.Regenerations != 11 || db.TrackedWrites != 7 {
+		t.Fatalf("DropBack scalars differ: %+v", db)
+	}
+	want := core.SummarizeSwaps(series)
+	if db.Swaps != want {
+		t.Fatalf("Swaps = %+v, want summarized series %+v", db.Swaps, want)
+	}
+	for i, m := range old.DropBack.Mask {
+		if db.Mask[i] != m {
+			t.Fatalf("Mask[%d] = %v, want %v", i, db.Mask[i], m)
+		}
+	}
+}
+
+// TestFormat2RoundTripSwapSummary pins the new encoding: a summary written
+// by writeTrainPayload comes back bit-equal.
+func TestFormat2RoundTripSwapSummary(t *testing.T) {
+	ts := sampleTrainState(9)
+	ts.DropBack.Swaps = core.SwapSummary{Steps: 1 << 30, Total: 1 << 40, Max: 12345, Last: 6}
+	var buf bytes.Buffer
+	if err := writeTrainPayload(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTrainPayload(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DropBack.Swaps != ts.DropBack.Swaps {
+		t.Fatalf("Swaps = %+v, want %+v", got.DropBack.Swaps, ts.DropBack.Swaps)
+	}
+}

@@ -77,7 +77,11 @@ type EpochRecord struct {
 }
 
 // trainStateFormat versions the TRST payload independently of the envelope.
-const trainStateFormat uint32 = 1
+// Format 2 replaced the unbounded per-step swap-history series in the
+// DropBack section with the four-scalar core.SwapSummary, so checkpoint size
+// no longer grows with step count; format-1 payloads are still readable (the
+// stored series is collapsed to its summary on load).
+const trainStateFormat uint32 = 2
 
 // ew accumulates the first write error so encoding code can stay linear.
 type ew struct {
@@ -257,10 +261,10 @@ func writeTrainPayload(w io.Writer, ts *TrainState) error {
 			}
 			e.bytes(packed)
 		}
-		e.write(uint32(len(db.SwapHistory)))
-		for _, s := range db.SwapHistory {
-			e.write(int32(s))
-		}
+		e.write(int64(db.Swaps.Steps))
+		e.write(db.Swaps.Total)
+		e.write(int64(db.Swaps.Max))
+		e.write(int64(db.Swaps.Last))
 	}
 	return e.err
 }
@@ -270,7 +274,7 @@ func readTrainPayload(r io.Reader) (*TrainState, error) {
 	e := &er{r: r}
 	var format uint32
 	e.read(&format)
-	if e.err == nil && format != trainStateFormat {
+	if e.err == nil && format != 1 && format != trainStateFormat {
 		return nil, fmt.Errorf("checkpoint: unsupported train-state format %d", format)
 	}
 	ts := &TrainState{}
@@ -382,17 +386,27 @@ func readTrainPayload(r io.Reader) (*TrainState, error) {
 				}
 			}
 		}
-		nSwaps := e.u32("swap history", 1<<28)
-		if e.err == nil {
-			swaps := make([]byte, 4*nSwaps)
-			if _, err := io.ReadFull(e.r, swaps); err != nil {
-				e.err = fmt.Errorf("checkpoint: reading swap history: %w", err)
-			} else {
-				db.SwapHistory = make([]int, nSwaps)
-				for i := range db.SwapHistory {
-					db.SwapHistory[i] = int(int32(binary.LittleEndian.Uint32(swaps[4*i:])))
+		if format == 1 {
+			// Format 1 stored the full per-step swap series; collapse it to
+			// the summary the live State carries now.
+			nSwaps := e.u32("swap history", 1<<28)
+			if e.err == nil {
+				swaps := make([]byte, 4*nSwaps)
+				if _, err := io.ReadFull(e.r, swaps); err != nil {
+					e.err = fmt.Errorf("checkpoint: reading swap history: %w", err)
+				} else {
+					series := make([]int, nSwaps)
+					for i := range series {
+						series[i] = int(int32(binary.LittleEndian.Uint32(swaps[4*i:])))
+					}
+					db.Swaps = core.SummarizeSwaps(series)
 				}
 			}
+		} else {
+			db.Swaps.Steps = int(e.i64("swap steps", 0, 1<<50))
+			db.Swaps.Total = e.i64("swap total", 0, 1<<62)
+			db.Swaps.Max = int(e.i64("swap max", 0, 1<<40))
+			db.Swaps.Last = int(e.i64("swap last", 0, 1<<40))
 		}
 		ts.DropBack = db
 	}

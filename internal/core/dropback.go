@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"dropback/internal/nn"
 )
@@ -38,6 +37,11 @@ type Config struct {
 	// deliberately skews retention toward later layers; this ablation
 	// quantifies what that freedom is worth.
 	PerLayerBudget bool
+	// DisableSwapHistory drops the per-step swap series (Fig 2's telemetry),
+	// keeping only the O(1) SwapSummary. Long-running jobs that never read
+	// SwapHistory() set this to keep constraint memory independent of step
+	// count.
+	DisableSwapHistory bool
 }
 
 // DropBack applies the paper's continuous-pruning constraint to a model's
@@ -59,9 +63,14 @@ type DropBack struct {
 	havePrev bool
 	frozen   bool
 
+	// shares is the per-tensor budget scratch for the PerLayerBudget path,
+	// reused across steps so selection stays allocation-free.
+	shares []int
+
 	// Telemetry.
 	stepCount     int
 	swapHistory   []int
+	swapSummary   SwapSummary
 	regenerations int64
 	trackedWrites int64
 }
@@ -110,7 +119,7 @@ func (d *DropBack) Apply() int {
 		if !d.cfg.DryRun {
 			d.regenerateUntracked()
 		}
-		d.swapHistory = append(d.swapHistory, 0)
+		d.recordSwaps(0)
 		return 0
 	}
 	d.computeScores()
@@ -123,7 +132,7 @@ func (d *DropBack) Apply() int {
 			}
 		}
 	}
-	d.swapHistory = append(d.swapHistory, swaps)
+	d.recordSwaps(swaps)
 	if !d.cfg.DryRun {
 		d.regenerateUntracked()
 	}
@@ -131,6 +140,15 @@ func (d *DropBack) Apply() int {
 	d.havePrev = true
 	// After the swap, prevMask holds the current selection.
 	return swaps
+}
+
+// recordSwaps folds one step's swap count into the O(1) summary and, unless
+// the series is disabled, appends it to the full per-step history.
+func (d *DropBack) recordSwaps(swaps int) {
+	d.swapSummary.Add(swaps)
+	if !d.cfg.DisableSwapHistory {
+		d.swapHistory = append(d.swapHistory, swaps)
+	}
 }
 
 // computeScores fills d.scores with |W_t − W_0| for every global index.
@@ -166,10 +184,13 @@ func (d *DropBack) selectMask() {
 	total := d.set.Total()
 	remaining := d.cfg.Budget
 	params := d.set.Params()
+	if cap(d.shares) < len(params) {
+		d.shares = make([]int, len(params))
+	}
+	shares := d.shares[:len(params)]
 	for i, p := range params {
-		base := d.set.Offset(i)
-		// Proportional share, rounded; the final tensor absorbs rounding
-		// drift so the overall budget is exact.
+		// Proportional share, rounded down; the final tensor absorbs the
+		// rounding drift so the overall budget is exact.
 		share := d.cfg.Budget * p.Len() / total
 		if i == len(params)-1 {
 			share = remaining
@@ -181,7 +202,28 @@ func (d *DropBack) selectMask() {
 			share = 0
 		}
 		remaining -= share
-		SelectTopKInto(d.mask[base:base+p.Len()], d.scores[base:base+p.Len()], share, d.cfg.Strategy)
+		shares[i] = share
+	}
+	// If the final tensor could not absorb the full drift (its share was
+	// clamped to its length), spill the surplus into earlier tensors with
+	// headroom. Budget <= Total guarantees the headroom sum covers it, so
+	// the overall allocation is exact rather than silently short.
+	for i, p := range params {
+		if remaining <= 0 {
+			break
+		}
+		if head := p.Len() - shares[i]; head > 0 {
+			give := head
+			if give > remaining {
+				give = remaining
+			}
+			shares[i] += give
+			remaining -= give
+		}
+	}
+	for i, p := range params {
+		base := d.set.Offset(i)
+		SelectTopKInto(d.mask[base:base+p.Len()], d.scores[base:base+p.Len()], shares[i], d.cfg.Strategy)
 	}
 }
 
@@ -235,6 +277,42 @@ func (d *DropBack) MaybeFreezeAtEpochEnd(epoch int) {
 	}
 }
 
+// SwapSummary is the bounded form of the swap-history telemetry: the
+// per-step series collapsed to four scalars. It is what checkpoints store —
+// a long run's checkpoint no longer grows by one int per training step —
+// and what recovery snapshots copy instead of the full series.
+type SwapSummary struct {
+	// Steps is the number of recorded steps (the series length).
+	Steps int
+	// Total is the sum of swaps over all recorded steps.
+	Total int64
+	// Max is the largest single-step swap count.
+	Max int
+	// Last is the most recent step's swap count.
+	Last int
+}
+
+// Add folds one step's swap count into the summary.
+func (s *SwapSummary) Add(swaps int) {
+	s.Steps++
+	s.Total += int64(swaps)
+	if swaps > s.Max {
+		s.Max = swaps
+	}
+	s.Last = swaps
+}
+
+// SummarizeSwaps collapses a full per-step swap series into its summary —
+// the conversion applied when reading format-1 checkpoints that stored the
+// whole series.
+func SummarizeSwaps(series []int) SwapSummary {
+	var s SwapSummary
+	for _, v := range series {
+		s.Add(v)
+	}
+	return s
+}
+
 // State is DropBack's resumable constraint state: everything Apply's
 // behavior depends on beyond the weights themselves (which the caller
 // checkpoints separately), plus the telemetry counters so a resumed run
@@ -246,12 +324,13 @@ type State struct {
 	HaveSelection bool
 	// Mask is the latest tracked-set selection (empty if none yet).
 	Mask []bool
-	// StepCount, Regenerations, TrackedWrites and SwapHistory restore the
-	// telemetry counters.
+	// StepCount, Regenerations, TrackedWrites and Swaps restore the
+	// telemetry counters. Swaps is the bounded summary of the swap series;
+	// the full series stays in memory only (and only when enabled).
 	StepCount     int
 	Regenerations int64
 	TrackedWrites int64
-	SwapHistory   []int
+	Swaps         SwapSummary
 }
 
 // State captures the constraint's resumable state.
@@ -262,7 +341,7 @@ func (d *DropBack) State() State {
 		StepCount:     d.stepCount,
 		Regenerations: d.regenerations,
 		TrackedWrites: d.trackedWrites,
-		SwapHistory:   d.SwapHistory(),
+		Swaps:         d.swapSummary,
 	}
 	if d.havePrev {
 		st.Mask = d.Mask()
@@ -294,7 +373,14 @@ func (d *DropBack) RestoreState(st State) error {
 	d.stepCount = st.StepCount
 	d.regenerations = st.Regenerations
 	d.trackedWrites = st.TrackedWrites
-	d.swapHistory = append(d.swapHistory[:0], st.SwapHistory...)
+	d.swapSummary = st.Swaps
+	// The in-memory series is deterministic, so any prefix of it is exact:
+	// a rollback (series longer than the restored step count) truncates to
+	// the captured prefix; a resume into a fresh constraint (series shorter)
+	// keeps what it has and the series covers post-resume steps only.
+	if len(d.swapHistory) > st.Swaps.Steps {
+		d.swapHistory = d.swapHistory[:st.Swaps.Steps]
+	}
 	return nil
 }
 
@@ -309,10 +395,16 @@ func (d *DropBack) Mask() []bool {
 	return out
 }
 
-// TrackedCount returns the number of currently tracked weights.
+// TrackedCount returns the number of currently tracked weights. It counts
+// the live mask in place — the trainer polls this per step for the tracked
+// gauge, so it must not copy the n-element mask.
 func (d *DropBack) TrackedCount() int {
+	src := d.mask
+	if d.havePrev && !d.frozen {
+		src = d.prevMask // latest selection lives in prevMask after Apply
+	}
 	n := 0
-	for _, m := range d.Mask() {
+	for _, m := range src {
 		if m {
 			n++
 		}
@@ -329,12 +421,17 @@ func (d *DropBack) AccumulatedGradients() []float32 {
 }
 
 // SwapHistory returns the number of weights that entered the tracked set at
-// each step (Fig 2's series).
+// each step (Fig 2's series). Empty when Config.DisableSwapHistory is set —
+// use Swaps for the bounded summary.
 func (d *DropBack) SwapHistory() []int {
 	out := make([]int, len(d.swapHistory))
 	copy(out, d.swapHistory)
 	return out
 }
+
+// Swaps returns the bounded swap-telemetry summary, available regardless of
+// whether the full series is kept.
+func (d *DropBack) Swaps() SwapSummary { return d.swapSummary }
 
 // Regenerations returns the total number of untracked-weight regenerations
 // performed — each one replacing what would otherwise be an off-chip weight
@@ -382,30 +479,7 @@ func (d *DropBack) RetentionByParam() []LayerRetention {
 // RetentionByLayer aggregates RetentionByParam by layer name (the parameter
 // name up to the final '/'), sorted by name for stable output.
 func (d *DropBack) RetentionByLayer() []LayerRetention {
-	byLayer := map[string]*LayerRetention{}
-	for _, r := range d.RetentionByParam() {
-		layer := r.Name
-		if i := lastSlash(layer); i >= 0 {
-			layer = layer[:i]
-		}
-		agg, ok := byLayer[layer]
-		if !ok {
-			agg = &LayerRetention{Name: layer}
-			byLayer[layer] = agg
-		}
-		agg.Total += r.Total
-		agg.Retained += r.Retained
-	}
-	names := make([]string, 0, len(byLayer))
-	for n := range byLayer {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]LayerRetention, 0, len(names))
-	for _, n := range names {
-		out = append(out, *byLayer[n])
-	}
-	return out
+	return aggregateRetention(d.RetentionByParam())
 }
 
 func lastSlash(s string) int {

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/nn"
+	"dropback/internal/optim"
+	"dropback/internal/xorshift"
+)
+
+// fillGrads writes the same pseudo-random gradient stream into every
+// parameter of the set, keyed by step so each step differs.
+func fillGrads(set *nn.ParamSet, step int) {
+	g := 0
+	for _, p := range set.Params() {
+		for e := range p.Grad.Data {
+			p.Grad.Data[e] = xorshift.IndexedUniform(uint64(1000+step), uint64(g))
+			g++
+		}
+	}
+}
+
+// syncTrackedGrads simulates a perfect sparse backward pass: the tracked
+// gradients are the dense gradients at the tracked indices.
+func syncTrackedGrads(eng *TrackedTrainer, set *nn.ParamSet) {
+	for i, p := range set.Params() {
+		t := eng.big[i]
+		if t == nil || t.TGrad == nil {
+			continue
+		}
+		for k, fi := range t.Idx {
+			t.TGrad[k] = p.Grad.Data[fi]
+		}
+	}
+}
+
+func assertSetsBitEqual(t *testing.T, ctx string, a, b *nn.ParamSet) {
+	t.Helper()
+	for i, p := range a.Params() {
+		q := b.Params()[i]
+		for e := range p.Value.Data {
+			if math.Float32bits(p.Value.Data[e]) != math.Float32bits(q.Value.Data[e]) {
+				t.Fatalf("%s: param %s[%d] = %x, want %x", ctx, p.Name, e,
+					math.Float32bits(q.Value.Data[e]), math.Float32bits(p.Value.Data[e]))
+			}
+		}
+	}
+}
+
+func assertEngineMatchesDense(t *testing.T, ctx string, eng *TrackedTrainer, db *DropBack) {
+	t.Helper()
+	assertEngineStateMatchesDense(t, ctx, eng, db)
+	ea, da := eng.AccumulatedGradients(), db.AccumulatedGradients()
+	for i := range da {
+		if math.Float32bits(ea[i]) != math.Float32bits(da[i]) {
+			t.Fatalf("%s: scores[%d] = %x vs dense %x", ctx, i,
+				math.Float32bits(ea[i]), math.Float32bits(da[i]))
+		}
+	}
+}
+
+// assertEngineStateMatchesDense compares everything State carries (scores
+// are live-only telemetry and not part of resumable state).
+func assertEngineStateMatchesDense(t *testing.T, ctx string, eng *TrackedTrainer, db *DropBack) {
+	t.Helper()
+	if eng.TrackedCount() != db.TrackedCount() {
+		t.Fatalf("%s: tracked count %d vs dense %d", ctx, eng.TrackedCount(), db.TrackedCount())
+	}
+	em, dm := eng.Mask(), db.Mask()
+	for i := range dm {
+		if em[i] != dm[i] {
+			t.Fatalf("%s: mask[%d] = %v vs dense %v", ctx, i, em[i], dm[i])
+		}
+	}
+	if eng.Regenerations() != db.Regenerations() || eng.TrackedWrites() != db.TrackedWrites() {
+		t.Fatalf("%s: counters (%d,%d) vs dense (%d,%d)", ctx,
+			eng.Regenerations(), eng.TrackedWrites(), db.Regenerations(), db.TrackedWrites())
+	}
+	if eng.Swaps() != db.Swaps() {
+		t.Fatalf("%s: swap summary %+v vs dense %+v", ctx, eng.Swaps(), db.Swaps())
+	}
+}
+
+// TestTrackedTrainerMatchesDensePipeline drives the engine and the dense
+// sgd.Step+DropBack.Apply pipeline with identical gradient streams through
+// fresh selection, freezing, and post-freeze steps, asserting bit-equal
+// values and identical masks, counters, and swap telemetry at every step.
+func TestTrackedTrainerMatchesDensePipeline(t *testing.T) {
+	for _, budget := range []int{5, 7, 20, 53} {
+		denseSet, _, _ := makeSet()
+		sparseSet, sfc1, sfc2 := makeSet()
+
+		db := New(denseSet, Config{Budget: budget, FreezeAfterEpoch: 1})
+		eng := NewTrackedTrainer(sparseSet, Config{Budget: budget, FreezeAfterEpoch: 1})
+		if _, err := eng.Virtualize(sfc1.W, sfc1.Out); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Virtualize(sfc2.W, sfc2.Out); err != nil {
+			t.Fatal(err)
+		}
+
+		sgd := optim.NewSGD(0)
+		const stepsPerEpoch = 4
+		step := 0
+		for epoch := 0; epoch < 4; epoch++ {
+			lr := float32(0.25) / float32(epoch+1)
+			sgd.LR = lr
+			for s := 0; s < stepsPerEpoch; s++ {
+				fillGrads(denseSet, step)
+				fillGrads(sparseSet, step)
+				syncTrackedGrads(eng, sparseSet)
+
+				sgd.Step(denseSet)
+				denseSwaps := db.Apply()
+				sparseSwaps := eng.Apply(lr)
+				if denseSwaps != sparseSwaps {
+					t.Fatalf("budget %d step %d: swaps %d vs dense %d", budget, step, sparseSwaps, denseSwaps)
+				}
+				step++
+			}
+			db.MaybeFreezeAtEpochEnd(epoch)
+			eng.MaybeFreezeAtEpochEnd(epoch)
+			eng.Densify()
+			assertSetsBitEqual(t, "epoch end", denseSet, sparseSet)
+			assertEngineMatchesDense(t, "epoch end", eng, db)
+			if eng.Frozen() != db.Frozen() {
+				t.Fatalf("budget %d epoch %d: frozen %v vs dense %v", budget, epoch, eng.Frozen(), db.Frozen())
+			}
+		}
+	}
+}
+
+// TestTrackedTrainerCrossRestore proves state captured from the dense
+// constraint resumes the engine bit-identically, and vice versa.
+func TestTrackedTrainerCrossRestore(t *testing.T) {
+	denseSet, _, _ := makeSet()
+	sparseSet, sfc1, sfc2 := makeSet()
+	db := New(denseSet, Config{Budget: 9, FreezeAfterEpoch: 0})
+	eng := NewTrackedTrainer(sparseSet, Config{Budget: 9, FreezeAfterEpoch: 0})
+	if _, err := eng.Virtualize(sfc1.W, sfc1.Out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Virtualize(sfc2.W, sfc2.Out); err != nil {
+		t.Fatal(err)
+	}
+	sgd := optim.NewSGD(0.3)
+
+	// Run both three steps, freeze, then three more.
+	for step := 0; step < 3; step++ {
+		fillGrads(denseSet, step)
+		fillGrads(sparseSet, step)
+		syncTrackedGrads(eng, sparseSet)
+		sgd.Step(denseSet)
+		db.Apply()
+		eng.Apply(0.3)
+	}
+	db.MaybeFreezeAtEpochEnd(0)
+	eng.MaybeFreezeAtEpochEnd(0)
+	for step := 3; step < 6; step++ {
+		fillGrads(denseSet, step)
+		fillGrads(sparseSet, step)
+		syncTrackedGrads(eng, sparseSet)
+		sgd.Step(denseSet)
+		db.Apply()
+		eng.Apply(0.3)
+	}
+	eng.Densify()
+	assertSetsBitEqual(t, "pre-restore", denseSet, sparseSet)
+
+	// Dense -> sparse: a fresh engine over the dense run's values and state.
+	resumeSet, rfc1, rfc2 := makeSet()
+	resumeSet.Restore(denseSet.Snapshot())
+	eng2 := NewTrackedTrainer(resumeSet, Config{Budget: 9, FreezeAfterEpoch: 0})
+	if _, err := eng2.Virtualize(rfc1.W, rfc1.Out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng2.Virtualize(rfc2.W, rfc2.Out); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.RestoreState(db.State()); err != nil {
+		t.Fatal(err)
+	}
+	assertEngineStateMatchesDense(t, "dense->sparse restore", eng2, db)
+
+	// Sparse -> dense: a fresh dense constraint over the engine's state.
+	denseSet2, _, _ := makeSet()
+	eng.Densify()
+	denseSet2.Restore(sparseSet.Snapshot())
+	db2 := New(denseSet2, Config{Budget: 9, FreezeAfterEpoch: 0})
+	if err := db2.RestoreState(eng.State()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Continue both pairs in lockstep and compare values.
+	for step := 6; step < 9; step++ {
+		fillGrads(denseSet, step)
+		fillGrads(resumeSet, step)
+		fillGrads(denseSet2, step)
+		syncTrackedGrads(eng2, resumeSet)
+		sgd.Step(denseSet)
+		db.Apply()
+		eng2.Apply(0.3)
+		sgd.Step(denseSet2)
+		db2.Apply()
+	}
+	eng2.Densify()
+	assertSetsBitEqual(t, "resumed sparse vs dense", denseSet, resumeSet)
+	assertSetsBitEqual(t, "resumed dense vs dense", denseSet, denseSet2)
+}

@@ -1,0 +1,52 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/tensor"
+	"dropback/internal/xorshift"
+)
+
+// TestTrackedSGDBitEqualToAXPY is the bit-identity anchor for the sparse
+// training path: for arbitrary values, gradients, and learning rates the
+// tracked update must produce the same float32 bits as the dense
+// tensor.AXPY(-lr, grad, value) the dense trainer uses — including
+// denormals, negative zero, and infinities.
+func TestTrackedSGDBitEqualToAXPY(t *testing.T) {
+	const n = 4096
+	vals := make([]float32, n)
+	grads := make([]float32, n)
+	for i := range vals {
+		vals[i] = xorshift.IndexedUniform(11, uint64(i))
+		grads[i] = xorshift.IndexedUniform(13, uint64(i))
+	}
+	// Edge cases the uniform stream will not hit.
+	vals[0], grads[0] = float32(math.Copysign(0, -1)), 0
+	vals[1], grads[1] = 1e-45, -1e-45
+	vals[2], grads[2] = float32(math.Inf(1)), float32(math.Inf(1))
+	vals[3], grads[3] = 0, float32(math.Copysign(0, -1))
+
+	for _, lr := range []float32{0, 0.1, 0.4, 1e-8, 3} {
+		dv := tensor.New(n)
+		dg := tensor.New(n)
+		copy(dv.Data, vals)
+		copy(dg.Data, grads)
+		tensor.AXPY(-lr, dg, dv)
+
+		sv := make([]float32, n)
+		copy(sv, vals)
+		o := &TrackedSGD{LR: lr}
+		o.StepTracked(sv, grads)
+		for i := range sv {
+			if math.Float32bits(sv[i]) != math.Float32bits(dv.Data[i]) {
+				t.Fatalf("lr=%v StepTracked[%d] = %x, dense AXPY = %x", lr, i,
+					math.Float32bits(sv[i]), math.Float32bits(dv.Data[i]))
+			}
+			if got := o.Update(vals[i], grads[i]); math.Float32bits(got) != math.Float32bits(dv.Data[i]) {
+				t.Fatalf("lr=%v Update[%d] = %x, dense AXPY = %x", lr, i,
+					math.Float32bits(got), math.Float32bits(dv.Data[i]))
+			}
+		}
+	}
+}

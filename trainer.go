@@ -12,6 +12,7 @@ import (
 	"dropback/internal/nn"
 	"dropback/internal/optim"
 	"dropback/internal/prune"
+	"dropback/internal/sparsenn"
 	"dropback/internal/stats"
 	"dropback/internal/telemetry"
 	"dropback/internal/tensor"
@@ -102,6 +103,22 @@ type TrainConfig struct {
 	FreezeAfterEpoch int
 	// Strategy selects DropBack's top-k engine.
 	Strategy core.TopKStrategy
+	// SparseTrain runs MethodDropBack on the sparse-native training path:
+	// the optimizer stores and updates only the tracked set (CSR deltas),
+	// and the forward/backward kernels regenerate untracked weights per
+	// minibatch instead of reading dense tensors — steady-state weight
+	// state scales with Budget k, not the parameter count n. The run is
+	// bit-identical to the dense trainer (same params, masks, history,
+	// checkpoints), so checkpoints cross-resume in both directions. Not
+	// compatible with Workers>1, divergence recovery, per-step snapshots,
+	// or GradHook, all of which read dense per-step state.
+	SparseTrain bool
+	// DisableSwapHistory drops the per-step swap series from the
+	// constraint and from Result.SwapHistory (the Swaps summary and all
+	// other telemetry are unaffected). Set it on long runs where the
+	// one-int-per-step series is unwanted; checkpoints store only a
+	// bounded summary either way.
+	DisableSwapHistory bool
 
 	// PruneFraction is the magnitude baseline's per-iteration prune share.
 	PruneFraction float64
@@ -245,6 +262,23 @@ func (c TrainConfig) Validate() error {
 	if c.Workers > 1 && c.WorkerModel == nil {
 		return fmt.Errorf("dropback: Workers = %d requires a WorkerModel factory", c.Workers)
 	}
+	if c.SparseTrain {
+		if c.Method != MethodDropBack {
+			return fmt.Errorf("dropback: SparseTrain requires MethodDropBack, got %v", c.Method)
+		}
+		if c.Workers > 1 {
+			return fmt.Errorf("dropback: SparseTrain does not support Workers = %d (slab gradient emission needs dense tensors)", c.Workers)
+		}
+		if c.MaxRecoveryRetries > 0 {
+			return fmt.Errorf("dropback: SparseTrain does not support divergence recovery (per-step snapshots read dense weights)")
+		}
+		if c.SnapshotEvery > 0 {
+			return fmt.Errorf("dropback: SparseTrain does not support per-step weight snapshots (dense values exist only at epoch boundaries)")
+		}
+		if c.GradHook != nil {
+			return fmt.Errorf("dropback: SparseTrain does not support GradHook (frozen big-tensor gradients live in the tracked set, not dense buffers)")
+		}
+	}
 	if c.ResumeFrom != nil {
 		// The batcher cursor must describe a position inside the captured
 		// permutation. A cursor past the end means the checkpoint was
@@ -260,6 +294,23 @@ func (c TrainConfig) Validate() error {
 		}
 	}
 	return nil
+}
+
+// dropBackConstraint is the surface the trainer needs from a DropBack
+// implementation, satisfied by both the dense *core.DropBack and the
+// sparse-native *core.TrackedTrainer — resumable state, epoch-end freezing,
+// and the telemetry the Result and the gauges report.
+type dropBackConstraint interface {
+	MaybeFreezeAtEpochEnd(epoch int)
+	State() core.State
+	RestoreState(core.State) error
+	TrackedCount() int
+	Regenerations() int64
+	TrackedWrites() int64
+	CompressionRatio() float64
+	SwapHistory() []int
+	AccumulatedGradients() []float32
+	RetentionByLayer() []core.LayerRetention
 }
 
 // EpochStats records one epoch of training.
@@ -345,18 +396,34 @@ func TrainE(m *Model, train, val *Dataset, cfg TrainConfig) (*Result, error) {
 
 	var (
 		db   *core.DropBack
+		eng  *core.TrackedTrainer
+		dbc  dropBackConstraint
 		mag  *prune.Magnitude
 		vd   *prune.VD
 		slim *prune.Slimming
 		dsd  *prune.DSD
 	)
+	var mirror nn.Layer
 	switch cfg.Method {
 	case MethodDropBack:
-		db = core.New(m.Set, core.Config{
-			Budget:           cfg.Budget,
-			FreezeAfterEpoch: cfg.FreezeAfterEpoch,
-			Strategy:         cfg.Strategy,
-		})
+		ccfg := core.Config{
+			Budget:             cfg.Budget,
+			FreezeAfterEpoch:   cfg.FreezeAfterEpoch,
+			Strategy:           cfg.Strategy,
+			DisableSwapHistory: cfg.DisableSwapHistory,
+		}
+		if cfg.SparseTrain {
+			eng = core.NewTrackedTrainer(m.Set, ccfg)
+			var err error
+			mirror, err = sparsenn.NewTrainingMirror(m, eng)
+			if err != nil {
+				return nil, err
+			}
+			dbc = eng
+		} else {
+			db = core.New(m.Set, ccfg)
+			dbc = db
+		}
 	case MethodMagnitude:
 		mag = prune.NewMagnitude(m.Set, cfg.PruneFraction)
 	case MethodVariational:
@@ -397,6 +464,11 @@ func TrainE(m *Model, train, val *Dataset, cfg TrainConfig) (*Result, error) {
 	if pexec != nil {
 		stepFn = pexec.Step
 	}
+	if eng != nil {
+		stepFn = func(x *tensor.Tensor, labels []int) (loss, acc float64) {
+			return sparsenn.TrainStep(m, mirror, x, labels)
+		}
+	}
 
 	// Managed checkpointing: resolve the resume state before the diffusion
 	// probes baseline themselves on the (possibly restored) weights.
@@ -425,7 +497,7 @@ func TrainE(m *Model, train, val *Dataset, cfg TrainConfig) (*Result, error) {
 	var bestBNState [][]float32
 
 	if resume != nil {
-		if err := applyResume(resume, m, train, batcher, sgd, db, res); err != nil {
+		if err := applyResume(resume, m, train, batcher, sgd, dbc, res); err != nil {
 			return nil, err
 		}
 		startEpoch = resume.Epoch
@@ -508,18 +580,26 @@ epochs:
 				if slim != nil && !slim.Pruned() {
 					slim.AddL1Grads()
 				}
-				sgd.Step(m.Set)
-				switch {
-				case db != nil:
-					swaps = db.Apply()
-				case mag != nil:
-					mag.Apply()
-				case vd != nil:
-					vd.AfterStep()
-				case slim != nil:
-					slim.AfterStep()
-				case dsd != nil:
-					dsd.AfterStep()
+				if eng != nil {
+					// The engine fuses the SGD update with selection and
+					// regeneration over the tracked representation; the
+					// dense sgd.Step must not run (the model's dense big
+					// tensors are stale between epoch boundaries).
+					swaps = eng.Apply(sgd.LR)
+				} else {
+					sgd.Step(m.Set)
+					switch {
+					case db != nil:
+						swaps = db.Apply()
+					case mag != nil:
+						mag.Apply()
+					case vd != nil:
+						vd.AfterStep()
+					case slim != nil:
+						slim.AfterStep()
+					case dsd != nil:
+						dsd.AfterStep()
+					}
 				}
 				if recoveryOn && !paramsFinite(m.Set) {
 					diverged = true
@@ -574,8 +654,14 @@ epochs:
 		if telemetryOn {
 			epochTrainDur = time.Since(epochStart)
 		}
-		if db != nil {
-			db.MaybeFreezeAtEpochEnd(epoch)
+		if dbc != nil {
+			dbc.MaybeFreezeAtEpochEnd(epoch)
+		}
+		if eng != nil {
+			// Refresh the model's dense tensors from the tracked state so
+			// evaluation, best-snapshot capture, and checkpoints see exactly
+			// the values the dense trainer holds here.
+			eng.Densify()
 		}
 		if slim != nil && !slim.Pruned() && epoch >= cfg.SlimPruneAtEpoch {
 			slim.Prune()
@@ -592,10 +678,13 @@ epochs:
 		}
 		res.History = append(res.History, es)
 		if telemetryOn {
-			if db != nil {
-				rec.Gauge("dropback/tracked_set_size", float64(db.TrackedCount()))
-				rec.Gauge("dropback/regenerations", float64(db.Regenerations()))
-				rec.Gauge("dropback/tracked_writes", float64(db.TrackedWrites()))
+			if dbc != nil {
+				rec.Gauge("dropback/tracked_set_size", float64(dbc.TrackedCount()))
+				rec.Gauge("dropback/regenerations", float64(dbc.Regenerations()))
+				rec.Gauge("dropback/tracked_writes", float64(dbc.TrackedWrites()))
+			}
+			if eng != nil {
+				rec.Gauge("dropback/weight_state_bytes", float64(eng.WeightStateBytes()))
 			}
 			wsHits, wsMisses, wsBytes := tensor.WorkspaceStats()
 			rec.Gauge(telemetry.GaugeWorkspaceHits, float64(wsHits))
@@ -633,7 +722,7 @@ epochs:
 			}
 			if (epoch+1-startEpoch)%every == 0 || epoch+1 == cfg.Epochs {
 				ts := captureTrainState(epoch+1, step, lrScale, retries, sinceBest,
-					res, bestSnapshot, bestBNState, m, batcher, sgd, db)
+					res, bestSnapshot, bestBNState, m, batcher, sgd, dbc)
 				if _, err := mgr.Save(m, ts); err != nil {
 					return nil, fmt.Errorf("saving checkpoint after epoch %d: %w", epoch+1, err)
 				}
@@ -657,12 +746,12 @@ epochs:
 
 	res.DiffusionSteps, res.DiffusionDist = diff.Series()
 	switch {
-	case db != nil:
-		res.Compression = db.CompressionRatio()
-		res.SwapHistory = db.SwapHistory()
-		res.AccumulatedGradients = db.AccumulatedGradients()
-		res.Retention = db.RetentionByLayer()
-		res.Regenerations = db.Regenerations()
+	case dbc != nil:
+		res.Compression = dbc.CompressionRatio()
+		res.SwapHistory = dbc.SwapHistory()
+		res.AccumulatedGradients = dbc.AccumulatedGradients()
+		res.Retention = dbc.RetentionByLayer()
+		res.Regenerations = dbc.Regenerations()
 	case mag != nil:
 		res.Compression = mag.CompressionRatio()
 	case vd != nil:
@@ -678,7 +767,7 @@ epochs:
 // applyResume restores the loop state a TrainState captures into the
 // freshly constructed training objects. The weights and batch-norm
 // statistics were already applied when the checkpoint was loaded.
-func applyResume(ts *checkpoint.TrainState, m *Model, train *data.Dataset, batcher *data.Batcher, sgd *optim.SGD, db *core.DropBack, res *Result) error {
+func applyResume(ts *checkpoint.TrainState, m *Model, train *data.Dataset, batcher *data.Batcher, sgd *optim.SGD, dbc dropBackConstraint, res *Result) error {
 	if ts.Epoch < 0 || ts.Step < 0 {
 		return fmt.Errorf("resume state has negative counters (epoch %d, step %d)", ts.Epoch, ts.Step)
 	}
@@ -718,13 +807,13 @@ func applyResume(ts *checkpoint.TrainState, m *Model, train *data.Dataset, batch
 		return err
 	}
 	if ts.DropBack != nil {
-		if db == nil {
+		if dbc == nil {
 			return fmt.Errorf("resume state carries DropBack state but the method is %v", res.Method)
 		}
-		if err := db.RestoreState(*ts.DropBack); err != nil {
+		if err := dbc.RestoreState(*ts.DropBack); err != nil {
 			return err
 		}
-	} else if db != nil && ts.Step > 0 {
+	} else if dbc != nil && ts.Step > 0 {
 		return fmt.Errorf("resume state carries no DropBack state but the method is DropBack")
 	}
 	return nil
@@ -734,7 +823,7 @@ func applyResume(ts *checkpoint.TrainState, m *Model, train *data.Dataset, batch
 // boundary: epochsDone epochs and step optimizer steps are complete.
 func captureTrainState(epochsDone, step int, lrScale float32, retries, sinceBest int,
 	res *Result, bestSnapshot []float32, bestBNState [][]float32,
-	m *Model, batcher *data.Batcher, sgd *optim.SGD, db *core.DropBack) *checkpoint.TrainState {
+	m *Model, batcher *data.Batcher, sgd *optim.SGD, dbc dropBackConstraint) *checkpoint.TrainState {
 	ts := &checkpoint.TrainState{
 		Epoch:      epochsDone,
 		Step:       step,
@@ -762,8 +851,8 @@ func captureTrainState(epochsDone, step int, lrScale float32, retries, sinceBest
 			ValLoss: h.ValLoss, ValAcc: h.ValAcc,
 		})
 	}
-	if db != nil {
-		st := db.State()
+	if dbc != nil {
+		st := dbc.State()
 		ts.DropBack = &st
 	}
 	return ts

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"testing"
 
+	"dropback/internal/core"
 	"dropback/internal/optim"
+	"dropback/internal/sparsenn"
 	"dropback/internal/tensor"
 	"dropback/internal/xorshift"
 )
@@ -48,4 +50,51 @@ func BenchmarkTrainStep(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSparseTrainStep measures one sparse-native optimizer step of the
+// MNIST-100-100 MLP at batch 32 in the frozen steady state, where the
+// tracked-set engine's weight state scales with the budget k rather than
+// the parameter count n. Besides allocs/op and ns/op, it reports the
+// engine's measured weight-state footprint (tracked-bytes) and its fraction
+// of the dense trainer's value+gradient state (weight-state-frac);
+// cmd/benchguard gates all four against BENCH_train.json, which pins the
+// paper's train-on-the-pruned-budget memory claim in CI.
+func BenchmarkSparseTrainStep(b *testing.B) {
+	const batch = 32
+	const budget = 8961 // 10% of the 89610-parameter MLP
+	m := MNIST100100(1)
+	eng := core.NewTrackedTrainer(m.Set, core.Config{Budget: budget, FreezeAfterEpoch: 0})
+	mirror, err := sparsenn.NewTrainingMirror(m, eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(batch, 784)
+	for i := range x.Data {
+		x.Data[i] = xorshift.IndexedUniform(3, uint64(i))
+	}
+	labels := make([]int, batch)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	const lr = 0.1
+	// One pre-freeze step selects the tracked set, then freezing drops the
+	// dense candidate state; one frozen step warms the steady-state
+	// workspaces the loop reuses.
+	sparsenn.TrainStep(m, mirror, x, labels)
+	eng.Apply(lr)
+	eng.MaybeFreezeAtEpochEnd(0)
+	sparsenn.TrainStep(m, mirror, x, labels)
+	eng.Apply(lr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsenn.TrainStep(m, mirror, x, labels)
+		eng.Apply(lr)
+	}
+	b.StopTimer()
+	tracked := float64(eng.WeightStateBytes())
+	dense := float64(eng.DenseWeightStateBytes())
+	b.ReportMetric(tracked, "tracked-bytes")
+	b.ReportMetric(tracked/dense, "weight-state-frac")
 }
