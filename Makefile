@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-train bench-guard-sparse bench-parallel bench-telemetry cover serve-smoke serve-chaos serve-load clean
+.PHONY: check build fmt-check fmt vet test fuzz race bench bench-guard bench-guard-train bench-guard-sparse bench-guard-dist bench-parallel bench-telemetry cover dist-e2e serve-smoke serve-chaos serve-load clean
 
 # bench-parallel is intentionally NOT part of check: it asserts the W=4
 # executor beats W=1 on wall time, which needs >= 4 real cores — run it
 # explicitly on multi-core hardware (CI's bench-parallel job does).
-check: build fmt-check vet test fuzz race bench bench-guard bench-guard-train bench-guard-sparse cover serve-smoke serve-chaos serve-load
+check: build fmt-check vet test fuzz race bench bench-guard bench-guard-train bench-guard-sparse bench-guard-dist cover dist-e2e serve-smoke serve-chaos serve-load
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,11 @@ vet:
 test:
 	$(GO) test ./...
 
-# Short coverage-guided run of the checkpoint-decoder fuzzer, mirroring the
-# CI fuzz smoke step.
+# Short coverage-guided runs of the checkpoint-decoder and dist
+# wire-decoder fuzzers, mirroring the CI fuzz smoke steps.
 fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzRead -fuzztime=10s ./internal/checkpoint
+	$(GO) test -run=Fuzz -fuzz=FuzzReadFrame -fuzztime=10s ./internal/dist
 
 # Repo-wide: the data-parallel training executor put goroutines in the
 # trainer hot path, so every package that touches a model now runs under
@@ -68,6 +69,14 @@ bench-guard-sparse:
 		-benchmem -benchtime 20x -run '^$$' ./internal/sparsenn > bench_sparse.out
 	$(GO) run ./cmd/benchguard -baseline BENCH_sparse.json -input bench_sparse.out
 
+# Multi-node training-step gate: BenchmarkDistTrainStep (2-node loopback
+# mesh, frozen O(k) exchange) must stay under the alloc ceiling and its
+# wire-B/step metric must equal StepFrameBytes exactly, per BENCH_dist.json.
+bench-guard-dist:
+	$(GO) test -bench BenchmarkDistTrainStep -benchmem -benchtime 20x \
+		-run '^$$' . > bench_dist.out
+	$(GO) run ./cmd/benchguard -baseline BENCH_dist.json -input bench_dist.out
+
 # Multi-core speedup gate (mirrors CI's bench-parallel job): at
 # GOMAXPROCS=4 the batched shard executor at W=4 must beat the sequential
 # W=1 path on wall time. Requires >= 4 real cores — meaningless (and
@@ -78,9 +87,14 @@ bench-parallel:
 	$(GO) run ./cmd/benchguard -baseline '' -input bench_parallel.out \
 		-assert-faster 'BenchmarkTrainStep/workers=4<BenchmarkTrainStep/workers=1'
 
-# Repo-wide statement coverage vs the committed floor (warn-only).
+# Repo-wide statement coverage vs the committed floor (enforcing).
 cover:
 	./scripts/coverage_check.sh
+
+# Multi-node training e2e: two real OS processes over loopback TCP must
+# save checkpoints byte-identical to a sequential run, dense and frozen.
+dist-e2e:
+	./scripts/dist_e2e.sh
 
 # End-to-end serving smoke: train -> export artifact -> dropback-serve ->
 # HTTP predict round trip -> live reload to a retrained artifact (corrupt
@@ -110,4 +124,4 @@ bench-telemetry:
 		-bench-out BENCH_telemetry.json
 
 clean:
-	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_train.out bench_sparse.out bench_parallel.out cpu.pprof heap.pprof
+	rm -f telemetry.jsonl BENCH_telemetry.json bench_guard.out bench_train.out bench_sparse.out bench_dist.out bench_parallel.out cpu.pprof heap.pprof

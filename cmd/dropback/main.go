@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dropback"
 	"dropback/internal/core"
+	"dropback/internal/dist"
 	"dropback/internal/optim"
 	"dropback/internal/telemetry"
 )
@@ -47,6 +49,11 @@ func run() error {
 		epochs   = flag.Int("epochs", 10, "training epochs")
 		batch    = flag.Int("batch", 32, "mini-batch size")
 		workers  = flag.Int("train-workers", 1, "data-parallel training workers (results are bit-identical at any count)")
+		distRank = flag.Int("dist-rank", 0, "multi-node training: this node's rank (with -dist-peers)")
+		distPeer = flag.String("dist-peers", "", "multi-node training: comma-separated host:port of every rank, index = rank (enables the dist executor; results are bit-identical to a single-node run)")
+		distList = flag.String("dist-listen", "", "multi-node training: local bind address for incoming peers (defaults to the -dist-peers entry for this rank)")
+		distCtTO = flag.Duration("dist-connect-timeout", 10*time.Second, "multi-node training: mesh build timeout (covers peers still starting)")
+		distStTO = flag.Duration("dist-step-timeout", 30*time.Second, "multi-node training: per-step exchange deadline (a stalled peer trips it)")
 		samples  = flag.Int("samples", 2000, "synthetic dataset size")
 		lr       = flag.Float64("lr", 0.1, "initial learning rate (x0.5 step decay)")
 		seed     = flag.Uint64("seed", 1, "random seed")
@@ -117,6 +124,20 @@ func run() error {
 		cfg.WorkerModel = func() (*dropback.Model, error) {
 			r, _, err := buildModel(*model, *seed, variational)
 			return r, err
+		}
+	}
+	if *distPeer != "" {
+		peers := strings.Split(*distPeer, ",")
+		listen := *distList
+		if listen == "" && *distRank >= 0 && *distRank < len(peers) {
+			listen = peers[*distRank]
+		}
+		cfg.Dist = &dist.Config{
+			Rank:           *distRank,
+			Peers:          peers,
+			Listen:         listen,
+			ConnectTimeout: *distCtTO,
+			StepTimeout:    *distStTO,
 		}
 	}
 	if *ckptDir != "" {

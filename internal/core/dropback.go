@@ -412,6 +412,24 @@ func (d *DropBack) TrackedCount() int {
 	return n
 }
 
+// AppendTrackedIndices appends the ascending global indices of the current
+// tracked set to dst and returns the extended slice. Every node of a
+// multi-node run derives the identical list from its own (bit-identical)
+// constraint state, which is what lets the frozen-phase wire frames carry
+// k values with no index side-band.
+func (d *DropBack) AppendTrackedIndices(dst []int32) []int32 {
+	src := d.mask
+	if d.havePrev && !d.frozen {
+		src = d.prevMask // latest selection lives in prevMask after Apply
+	}
+	for i, m := range src {
+		if m {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
+}
+
 // AccumulatedGradients returns a copy of the most recent |W_t − W_0| score
 // vector (Fig 1's distribution). Call after at least one Apply.
 func (d *DropBack) AccumulatedGradients() []float32 {

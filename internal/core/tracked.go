@@ -481,6 +481,43 @@ func (d *TrackedTrainer) TrackedCount() int {
 	return n
 }
 
+// AppendTrackedIndices appends the ascending global indices of the current
+// tracked set to dst and returns the extended slice. Pre-freeze it scans the
+// live mask like DropBack.AppendTrackedIndices; once frozen it walks the CSR
+// index arrays and small-tensor masks directly — O(k) work with no dense
+// n-length scan, the extraction the tracked-delta wire frames are built
+// from. Ascending order holds because parameters are visited in registration
+// order and each CSR's Idx array is ascending.
+func (d *TrackedTrainer) AppendTrackedIndices(dst []int32) []int32 {
+	if !d.frozen {
+		src := d.mask
+		if d.havePrev {
+			src = d.prevMask
+		}
+		for i, m := range src {
+			if m {
+				dst = append(dst, int32(i))
+			}
+		}
+		return dst
+	}
+	for i, p := range d.set.Params() {
+		base := int32(d.set.Offset(i))
+		if t := d.big[i]; t != nil {
+			for _, fi := range t.Idx {
+				dst = append(dst, base+fi)
+			}
+			continue
+		}
+		for e := 0; e < p.Len(); e++ {
+			if d.smallMask[i][e] {
+				dst = append(dst, base+int32(e))
+			}
+		}
+	}
+	return dst
+}
+
 // AccumulatedGradients returns a copy of the most recent score vector. The
 // final pre-freeze scores are retained after Freeze for telemetry parity
 // with the dense constraint; they are not part of WeightStateBytes.

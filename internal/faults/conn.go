@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"net"
+	"sync"
+)
+
+// Connection-level injectors for the multi-node training harness. Each wraps
+// a net.Conn and plugs into dist.Config.WrapConn; deadlines and Close pass
+// through to the embedded connection, so cluster timeout handling keeps
+// working on the faulty link.
+
+// CutConn severs the connection after N bytes have crossed it in either
+// direction — a peer process crashing mid-exchange. The boundary write or
+// read is partial: bytes under the limit pass through, then the underlying
+// connection is closed and every further call returns ErrInjected.
+type CutConn struct {
+	net.Conn
+	// N is the number of bytes (reads + writes combined) allowed through.
+	N int64
+
+	mu    sync.Mutex
+	count int64
+	cut   bool
+}
+
+// Write implements net.Conn.
+func (c *CutConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	remaining := c.N - c.count
+	if remaining <= 0 {
+		c.sever()
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if int64(len(p)) <= remaining {
+		c.count += int64(len(p))
+		c.mu.Unlock()
+		return c.Conn.Write(p)
+	}
+	// Boundary write: flush the budgeted prefix before severing, so the
+	// remote observes a partial frame followed by a close — the signature
+	// of a process dying mid-send.
+	c.count += remaining
+	n, _ := c.Conn.Write(p[:remaining])
+	c.sever()
+	c.mu.Unlock()
+	return n, ErrInjected
+}
+
+// Read implements net.Conn.
+func (c *CutConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	remaining := c.N - c.count
+	if remaining <= 0 {
+		c.sever()
+		c.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > remaining {
+		p = p[:remaining]
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.count += int64(n)
+	if c.count >= c.N {
+		c.sever()
+	}
+	c.mu.Unlock()
+	return n, err
+}
+
+// sever closes the real connection once; callers hold c.mu. Closing (rather
+// than just erroring locally) is what makes the remote side see the failure
+// too, like a real crashed peer.
+func (c *CutConn) sever() {
+	if !c.cut {
+		c.cut = true
+		c.Conn.Close()
+	}
+}
+
+// Cut reports whether the connection has been severed.
+func (c *CutConn) Cut() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cut
+}
+
+// StallConn lets N written bytes through, then blocks every further Write
+// until Release is closed — a peer that is alive at the TCP level but has
+// stopped making progress, which must trip the fold deadline rather than
+// hang it. Reads pass through untouched. Tests close Release during
+// teardown so the stalled node's goroutines can drain.
+type StallConn struct {
+	net.Conn
+	// N is the number of written bytes allowed before stalling.
+	N int64
+	// Release unblocks stalled writes when closed. Must be non-nil.
+	Release chan struct{}
+
+	mu      sync.Mutex
+	written int64
+	stalled bool
+}
+
+// Write implements net.Conn.
+func (s *StallConn) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	if s.written >= s.N {
+		s.stalled = true
+		s.mu.Unlock()
+		<-s.Release
+		return s.Conn.Write(p)
+	}
+	s.written += int64(len(p))
+	s.mu.Unlock()
+	return s.Conn.Write(p)
+}
+
+// Stalled reports whether a write has hit the stall point.
+func (s *StallConn) Stalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalled
+}
+
+// FlipConn flips bit Bit of the byte at read-stream offset Offset — a
+// single-event corruption on the wire, which the frame CRC must catch. The
+// connection analogue of FlipReader.
+type FlipConn struct {
+	net.Conn
+	Offset int64
+	Bit    uint8
+
+	mu  sync.Mutex
+	pos int64
+}
+
+// Read implements net.Conn.
+func (f *FlipConn) Read(p []byte) (int, error) {
+	n, err := f.Conn.Read(p)
+	f.mu.Lock()
+	if n > 0 && f.Offset >= f.pos && f.Offset < f.pos+int64(n) {
+		p[f.Offset-f.pos] ^= 1 << (f.Bit % 8)
+	}
+	f.pos += int64(n)
+	f.mu.Unlock()
+	return n, err
+}

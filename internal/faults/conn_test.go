@@ -1,0 +1,177 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a real loopback TCP connection, so the
+// injectors are exercised over the same transport the training cluster uses
+// (asynchronous buffers, real Close semantics).
+func tcpPair(t *testing.T) (a, b net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b, err = ln.Accept()
+	}()
+	a, derr := net.Dial("tcp", ln.Addr().String())
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestCutConnSeversAfterBudget verifies the crash model end to end: bytes
+// under the limit pass through, the boundary write is partial, every later
+// call is ErrInjected, and the REMOTE side sees a real connection failure —
+// like a peer process dying, not a polite local error.
+func TestCutConnSeversAfterBudget(t *testing.T) {
+	local, remote := tcpPair(t)
+	cut := &CutConn{Conn: local, N: 10}
+
+	if n, err := cut.Write([]byte("12345")); n != 5 || err != nil {
+		t.Fatalf("write under budget: n=%d err=%v", n, err)
+	}
+	// This write crosses the 10-byte budget: 5 more bytes pass, then the
+	// connection is severed mid-write.
+	n, err := cut.Write([]byte("67890ABCDE"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("boundary write: n=%d err=%v, want 5 bytes and ErrInjected", n, err)
+	}
+	if !cut.Cut() {
+		t.Fatal("Cut() false after severing")
+	}
+	if _, err := cut.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut write: %v", err)
+	}
+	if _, err := cut.Read(make([]byte, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut read: %v", err)
+	}
+
+	// The remote end received exactly the bytes that passed, then EOF —
+	// the view a healthy node has of a crashed peer.
+	got, rerr := io.ReadAll(remote)
+	if !bytes.Equal(got, []byte("1234567890")) {
+		t.Fatalf("remote saw %q, want the 10 budgeted bytes", got)
+	}
+	if rerr != nil {
+		t.Fatalf("remote read-to-EOF: %v", rerr)
+	}
+}
+
+// TestCutConnCountsReads proves the budget spans both directions.
+func TestCutConnCountsReads(t *testing.T) {
+	local, remote := tcpPair(t)
+	cut := &CutConn{Conn: local, N: 4}
+	if _, err := remote.Write([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := cut.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 4 {
+		t.Fatalf("read %d bytes past the budget", n)
+	}
+	// The budget is spent (reads may arrive in smaller chunks, so drain).
+	for !cut.Cut() {
+		if _, err := cut.Read(buf); err != nil {
+			break
+		}
+	}
+	if _, err := cut.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-budget read: %v", err)
+	}
+}
+
+// TestStallConnBlocksUntilReleased verifies the stalled-peer model: writes
+// under the budget pass, the next write blocks (a live TCP connection making
+// no progress), and closing Release unblocks it for teardown.
+func TestStallConnBlocksUntilReleased(t *testing.T) {
+	local, remote := tcpPair(t)
+	release := make(chan struct{})
+	stall := &StallConn{Conn: local, N: 3, Release: release}
+
+	if _, err := stall.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if stall.Stalled() {
+		t.Fatal("stalled before the budget")
+	}
+
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := stall.Write([]byte("def"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write past the budget returned early: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if !stall.Stalled() {
+		t.Fatal("Stalled() false while a write is blocked")
+	}
+
+	close(release)
+	if err := <-wrote; err != nil {
+		t.Fatalf("released write: %v", err)
+	}
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(remote, buf); err != nil || string(buf) != "abcdef" {
+		t.Fatalf("remote saw %q (%v), want abcdef", buf, err)
+	}
+}
+
+// TestStallConnReadsPassThrough: only writes stall; the injected node keeps
+// receiving, which is what makes the fold deadline (not a read error) the
+// detection path on the healthy side.
+func TestStallConnReadsPassThrough(t *testing.T) {
+	local, remote := tcpPair(t)
+	stall := &StallConn{Conn: local, N: 0, Release: make(chan struct{})}
+	if _, err := remote.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(stall, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("read through a stalled conn: %q (%v)", buf, err)
+	}
+}
+
+// TestFlipConnFlipsExactlyOneBit streams bytes through a FlipConn and
+// checks exactly the configured bit of the configured offset changed.
+func TestFlipConnFlipsExactlyOneBit(t *testing.T) {
+	local, remote := tcpPair(t)
+	flip := &FlipConn{Conn: local, Offset: 5, Bit: 3}
+	want := []byte("0123456789")
+	go remote.Write(want)
+	got := make([]byte, len(want))
+	if _, err := io.ReadFull(flip, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		expect := want[i]
+		if int64(i) == 5 {
+			expect ^= 1 << 3
+		}
+		if got[i] != expect {
+			t.Fatalf("byte %d: %02x, want %02x", i, got[i], expect)
+		}
+	}
+}

@@ -128,6 +128,10 @@ type Dropout struct {
 	// shard starting at batch row s draws exactly the mask values the
 	// sequential full-batch pass would have drawn for rows s, s+1, …
 	pendingSkipSamples int
+	// lastPerSample remembers the per-sample draw count of the most recent
+	// sampling Forward, letting AdvanceSamples move the stream eagerly
+	// (without waiting for another input to reveal the activation size).
+	lastPerSample int
 }
 
 // NewDropout returns a dropout layer with drop probability p in [0, 1).
@@ -154,14 +158,36 @@ func (l *Dropout) SetRNGState(s uint64) { l.rng.SetState(s) }
 // armed skip in place, mirroring the sequential stream they don't advance.
 func (l *Dropout) SkipSamples(n int) { l.pendingSkipSamples = n }
 
+// AdvanceSamples moves the mask stream past n samples' worth of draws NOW,
+// rather than arming a skip for the next Forward. The multi-node trainer
+// calls it after its shard's forward pass so the layer's stream ends each
+// step where the sequential full-batch pass would — a position that must be
+// materialized into the RNG state itself, because epoch-boundary checkpoints
+// capture that state. Before any sampling Forward the per-sample draw count
+// is unknown, so the advance is deferred to the next one via the armed-skip
+// path; P==0 layers never draw anywhere, so the call is a no-op for them.
+func (l *Dropout) AdvanceSamples(n int) {
+	if l.P == 0 || n <= 0 {
+		return
+	}
+	if l.lastPerSample == 0 {
+		l.pendingSkipSamples += n
+		return
+	}
+	for i := n * l.lastPerSample; i > 0; i-- {
+		l.rng.Float32()
+	}
+}
+
 // Forward implements Layer.
 func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || l.P == 0 {
 		l.mask = nil
 		return x
 	}
+	perSample := x.Len() / x.Shape[0]
+	l.lastPerSample = perSample
 	if l.pendingSkipSamples > 0 {
-		perSample := x.Len() / x.Shape[0]
 		for i := l.pendingSkipSamples * perSample; i > 0; i-- {
 			l.rng.Float32()
 		}

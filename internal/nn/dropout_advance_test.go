@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"dropback/internal/tensor"
+)
+
+// onesBatch returns an n-sample batch of f features with distinct values, so
+// masked outputs differ per element.
+func onesBatch(n, f int) *tensor.Tensor {
+	x := tensor.New(n, f)
+	for i := range x.Data {
+		x.Data[i] = float32(i+1) * 0.125
+	}
+	return x
+}
+
+// TestDropoutAdvanceSamplesMatchesSequentialStream reproduces the multi-node
+// trainer's shard protocol on a single layer: skip to the shard's first row,
+// forward the shard, then advance past the trailing rows. The layer's RNG
+// must land exactly where a sequential full-batch forward leaves it, and the
+// shard's outputs must be bit-identical to the matching rows of the full
+// pass.
+func TestDropoutAdvanceSamplesMatchesSequentialStream(t *testing.T) {
+	const n, f, seed = 8, 5, 77
+	full := onesBatch(n, f)
+
+	seq := NewDropout("d", seed, 0.5)
+	yFull := seq.Forward(full, true)
+
+	const lo, hi = 3, 6
+	shard := tensor.New(hi-lo, f)
+	copy(shard.Data, full.Data[lo*f:hi*f])
+
+	node := NewDropout("d", seed, 0.5)
+	node.SkipSamples(lo)
+	yShard := node.Forward(shard, true)
+	for i := range yShard.Data {
+		want := yFull.Data[lo*f+i]
+		if math.Float32bits(yShard.Data[i]) != math.Float32bits(want) {
+			t.Fatalf("shard output[%d] = %v, want sequential row value %v", i, yShard.Data[i], want)
+		}
+	}
+
+	node.AdvanceSamples(n - hi)
+	if node.RNGState() != seq.RNGState() {
+		t.Fatalf("RNG state after shard+advance = %#x, sequential = %#x",
+			node.RNGState(), seq.RNGState())
+	}
+
+	// Both streams must stay in lockstep on the next batch too.
+	y2a := seq.Forward(full, true)
+	y2b := node.Forward(full, true)
+	for i := range y2a.Data {
+		if math.Float32bits(y2a.Data[i]) != math.Float32bits(y2b.Data[i]) {
+			t.Fatalf("next batch diverged at %d", i)
+		}
+	}
+}
+
+// TestDropoutAdvanceSamplesDefersBeforeFirstForward: before any sampling
+// Forward the per-sample draw count is unknown, so the advance must queue as
+// an armed skip and be consumed by the next sampling Forward.
+func TestDropoutAdvanceSamplesDefersBeforeFirstForward(t *testing.T) {
+	const f, seed = 4, 9
+	ref := NewDropout("d", seed, 0.3)
+	yRef := ref.Forward(onesBatch(4, f), true)
+
+	d := NewDropout("d", seed, 0.3)
+	d.AdvanceSamples(2) // defers: no Forward has revealed the feature count
+	tail := tensor.New(2, f)
+	copy(tail.Data, onesBatch(4, f).Data[2*f:])
+	y := d.Forward(tail, true)
+	for i := range y.Data {
+		want := yRef.Data[2*f+i]
+		if math.Float32bits(y.Data[i]) != math.Float32bits(want) {
+			t.Fatalf("deferred advance: output[%d] = %v, want %v", i, y.Data[i], want)
+		}
+	}
+	if d.RNGState() != ref.RNGState() {
+		t.Fatalf("RNG state %#x, want %#x", d.RNGState(), ref.RNGState())
+	}
+}
+
+// TestDropoutAdvanceSamplesNoOps: a P==0 layer never draws, and non-positive
+// counts advance nothing — in both cases the RNG state is untouched.
+func TestDropoutAdvanceSamplesNoOps(t *testing.T) {
+	d := NewDropout("d", 5, 0.5)
+	d.Forward(onesBatch(2, 3), true)
+	state := d.RNGState()
+	d.AdvanceSamples(0)
+	d.AdvanceSamples(-4)
+	if d.RNGState() != state {
+		t.Fatalf("non-positive advance moved the stream: %#x -> %#x", state, d.RNGState())
+	}
+
+	p0 := NewDropout("d", 5, 0)
+	s0 := p0.RNGState()
+	p0.AdvanceSamples(10)
+	p0.Forward(onesBatch(2, 3), true)
+	if p0.RNGState() != s0 {
+		t.Fatalf("P=0 layer drew from its stream")
+	}
+}
+
+// TestAdvanceDropoutSamplesWalksEveryLayer: the tree-walking helper must hit
+// every dropout under the root, leaving each stream where a sequential
+// full-batch pass would.
+func TestAdvanceDropoutSamplesWalksEveryLayer(t *testing.T) {
+	const n, f = 6, 4
+	build := func() (*Sequential, *Dropout, *Dropout) {
+		d1 := NewDropout("d1", 11, 0.4)
+		d2 := NewDropout("d2", 22, 0.2)
+		return NewSequential("net", d1, NewSequential("inner", d2)), d1, d2
+	}
+
+	seqNet, s1, s2 := build()
+	seqNet.Forward(onesBatch(n, f), true)
+
+	nodeNet, n1, n2 := build()
+	const hi = 2 // shard covers rows [0, hi)
+	nodeNet.Forward(onesBatch(hi, f), true)
+	AdvanceDropoutSamples(nodeNet, n-hi)
+
+	if n1.RNGState() != s1.RNGState() || n2.RNGState() != s2.RNGState() {
+		t.Fatalf("nested layers not advanced: (%#x,%#x) vs sequential (%#x,%#x)",
+			n1.RNGState(), n2.RNGState(), s1.RNGState(), s2.RNGState())
+	}
+}

@@ -176,3 +176,17 @@ func ArmDropoutSkip(root Layer, n int) {
 		}
 	})
 }
+
+// AdvanceDropoutSamples advances every Dropout layer under root past n
+// samples' worth of mask draws immediately (see Dropout.AdvanceSamples). The
+// multi-node trainer calls it after its shard's forward pass so each layer's
+// stream lands where the sequential pass's would after the full batch —
+// positions that epoch-boundary checkpoints capture, so they cannot be left
+// as un-materialized armed skips.
+func AdvanceDropoutSamples(root Layer, n int) {
+	Walk(root, func(l Layer) {
+		if d, ok := l.(*Dropout); ok {
+			d.AdvanceSamples(n)
+		}
+	})
+}

@@ -48,6 +48,44 @@ const (
 	CounterTrainShardSeconds = "train/shard_seconds"
 )
 
+// Names for the multi-node training executor's telemetry.
+const (
+	// GaugeDistWorld is the cluster size, exported at every epoch boundary.
+	GaugeDistWorld = "dist/world"
+	// CounterDistBytesSent accumulates bytes written to all peers — true
+	// bytes-on-wire from the socket-level counters, which the O(k) wire
+	// test asserts exactly against the analytical frame size.
+	CounterDistBytesSent = "dist/bytes_sent"
+	// CounterDistBytesReceived accumulates bytes read from all peers.
+	CounterDistBytesReceived = "dist/bytes_received"
+	// CounterDistFoldWaitSeconds accumulates wall time each step spends in
+	// the gradient exchange (send + wait for every peer's frame) — the
+	// communication share of the step.
+	CounterDistFoldWaitSeconds = "dist/fold_wait_seconds"
+)
+
+// DistPeerCounter names the per-peer byte counter for one direction
+// ("sent" or "received"), e.g. dist/peer2/sent.
+func DistPeerCounter(rank int, direction string) string {
+	return "dist/peer" + itoa(rank) + "/" + direction
+}
+
+// itoa is a minimal non-negative integer formatter, avoiding strconv in a
+// package kept dependency-light for the zero-alloc nop path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
 // Phase distinguishes the two halves of a training step a layer span can
 // belong to.
 type Phase uint8

@@ -8,6 +8,7 @@ import (
 	"dropback/internal/checkpoint"
 	"dropback/internal/core"
 	"dropback/internal/data"
+	"dropback/internal/dist"
 	"dropback/internal/metrics"
 	"dropback/internal/nn"
 	"dropback/internal/optim"
@@ -207,6 +208,23 @@ type TrainConfig struct {
 	// the primary's; only their gradient buffers and layer workspaces stay
 	// private. Required when Workers ≥ 2, ignored otherwise.
 	WorkerModel func() (*Model, error)
+
+	// Dist, if non-nil, joins a multi-node training cluster: this process
+	// trains the contiguous shard of every minibatch that Dist.Rank owns
+	// and exchanges per-sample gradient rows with every peer over TCP
+	// (tracked-set values only, once DropBack freezes), folding them in the
+	// same ascending order the sequential trainer uses — the run is
+	// bit-identical to Workers = Dist disabled on every node (DESIGN.md
+	// §12). Every node must run the same model, dataset, and TrainConfig
+	// (the connection handshake verifies seed, method, budget, freeze
+	// epoch, batch size, parameter space, and resume step). Supported for
+	// MethodBaseline and MethodDropBack; like the in-process executor it
+	// requires nn.CheckShardable layers, and it excludes Workers > 1,
+	// SparseTrain, divergence recovery, and GradHook. The cluster size is
+	// an execution detail: checkpoints are node-count-free, and a run may
+	// resume under a different world size bit-identically (every node
+	// resumes from the same checkpoint).
+	Dist *dist.Config
 }
 
 // Validate checks the configuration and reports the first problem. Train
@@ -277,6 +295,26 @@ func (c TrainConfig) Validate() error {
 		}
 		if c.GradHook != nil {
 			return fmt.Errorf("dropback: SparseTrain does not support GradHook (frozen big-tensor gradients live in the tracked set, not dense buffers)")
+		}
+	}
+	if c.Dist != nil {
+		if err := c.Dist.Validate(); err != nil {
+			return err
+		}
+		if c.Method != MethodBaseline && c.Method != MethodDropBack {
+			return fmt.Errorf("dropback: Dist supports MethodBaseline and MethodDropBack, got %v", c.Method)
+		}
+		if c.Workers > 1 {
+			return fmt.Errorf("dropback: Dist and Workers = %d are mutually exclusive (one executor per run)", c.Workers)
+		}
+		if c.SparseTrain {
+			return fmt.Errorf("dropback: Dist does not support SparseTrain (slab gradient emission needs dense tensors)")
+		}
+		if c.MaxRecoveryRetries > 0 {
+			return fmt.Errorf("dropback: Dist does not support divergence recovery (a rollback on one node would desynchronize the cluster)")
+		}
+		if c.GradHook != nil {
+			return fmt.Errorf("dropback: Dist does not support GradHook (frozen-phase remote gradient rows are exact only at tracked indices)")
 		}
 	}
 	if c.ResumeFrom != nil {
@@ -526,6 +564,29 @@ func TrainE(m *Model, train, val *Dataset, cfg TrainConfig) (*Result, error) {
 		}
 	}
 
+	// The multi-node executor joins the cluster only after the resume state
+	// is resolved: the handshake verifies every node resumes at the same
+	// step (all nodes must load the same checkpoint), and a resume mismatch
+	// should fail before any socket is opened to a healthy peer.
+	var dexec *distExecutor
+	if cfg.Dist != nil {
+		hs := dist.Handshake{
+			Seed:        cfg.Seed,
+			Method:      uint32(cfg.Method),
+			Budget:      uint64(cfg.Budget),
+			FreezeAfter: int64(cfg.FreezeAfterEpoch),
+			Batch:       uint32(cfg.BatchSize),
+			StartStep:   uint64(step),
+		}
+		var err error
+		dexec, err = newDistExecutor(m, db, *cfg.Dist, hs, cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		defer dexec.Close()
+		stepFn = dexec.Step
+	}
+
 	diff := stats.NewDiffusion(filteredSnapshot(m.Set, cfg.SnapshotParams))
 	diff.Record(step, filteredSnapshot(m.Set, cfg.SnapshotParams))
 	maybeSnapshot(res, cfg, step, m.Set)
@@ -565,6 +626,14 @@ epochs:
 			}
 			x, y := batcher.Next()
 			loss, acc := stepFn(x, y)
+			if dexec != nil {
+				// A failed exchange must surface as an error BEFORE the
+				// optimizer runs: the weights stay exactly where the last
+				// completed step left them — no torn updates.
+				if derr := dexec.Err(); derr != nil {
+					return nil, fmt.Errorf("dropback: dist training step %d: %w", step, derr)
+				}
+			}
 			if cfg.GradHook != nil {
 				cfg.GradHook(step, m.Set)
 			}
@@ -695,6 +764,9 @@ epochs:
 				workers = 1
 			}
 			rec.Gauge(telemetry.GaugeTrainWorkers, float64(workers))
+			if dexec != nil {
+				dexec.recordEpochTelemetry()
+			}
 			rec.EpochDone(telemetry.EpochSample{
 				Epoch: epoch + 1, TrainLoss: es.TrainLoss, TrainAcc: es.TrainAcc,
 				ValLoss: es.ValLoss, ValAcc: es.ValAcc,
